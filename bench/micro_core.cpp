@@ -1,0 +1,143 @@
+// Micro benchmarks (google-benchmark): the hot paths of the simulator and
+// the O(log N) join-complexity claim of §3.2.3.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/directionality.hpp"
+#include "core/vdm_protocol.hpp"
+#include "net/routing.hpp"
+#include "overlay/session.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mst.hpp"
+#include "topology/transit_stub.hpp"
+
+namespace {
+
+using namespace vdm;
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>((i * 2654435761u) % 1000003),
+                      [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_DijkstraTransitStub(benchmark::State& state) {
+  util::Rng rng(1);
+  topo::TransitStubParams tp;  // 792 routers, the paper's topology
+  const topo::TransitStubTopology topo = topo::make_transit_stub(tp, rng);
+  const net::Router router(topo.graph);
+  net::NodeId src = 0;
+  for (auto _ : state) {
+    router.clear_cache();
+    benchmark::DoNotOptimize(router.delay(src, static_cast<net::NodeId>(
+                                                   topo.graph.num_nodes() - 1)));
+    src = (src + 37) % static_cast<net::NodeId>(topo.graph.num_nodes());
+  }
+}
+BENCHMARK(BM_DijkstraTransitStub);
+
+void BM_ClassifyDirection(benchmark::State& state) {
+  double a = 0.080, b = 0.030, c = 0.055;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::classify_direction(a, b, c));
+    std::swap(a, b);
+    std::swap(b, c);
+  }
+}
+BENCHMARK(BM_ClassifyDirection);
+
+/// §3.2.3: join cost should grow with log N, not N. The per-join iteration
+/// count (and message count) is the protocol-level cost; wall time per join
+/// at each N makes the sub-linear growth visible in the report.
+void BM_VdmJoinIntoTreeOfN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  topo::TransitStubParams tp;
+  topo::HostAttachment hp;
+  hp.num_hosts = n + 2;
+  const net::GraphUnderlay underlay = topo::make_transit_stub_underlay(tp, hp, rng);
+
+  core::VdmProtocol vdm;
+  overlay::DelayMetric metric;
+  sim::Simulator simulator;
+  overlay::SessionParams sp;
+  sp.source = 0;
+  sp.data_plane = false;
+  overlay::Session session(simulator, underlay, vdm, metric, sp, rng.split(1));
+  session.start();
+  for (net::HostId h = 1; h <= n; ++h) session.join(h, 4);
+
+  const net::HostId probe = static_cast<net::HostId>(n + 1);
+  std::int64_t iterations_total = 0;
+  std::int64_t joins = 0;
+  for (auto _ : state) {
+    const overlay::TimingRecord rec = session.join(probe, 4);
+    iterations_total += rec.iterations;
+    ++joins;
+    state.PauseTiming();
+    session.leave(probe);
+    state.ResumeTiming();
+  }
+  state.counters["search_iters_per_join"] =
+      benchmark::Counter(static_cast<double>(iterations_total) / static_cast<double>(joins));
+}
+BENCHMARK(BM_VdmJoinIntoTreeOfN)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_PrimMstOverHosts(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  topo::TransitStubParams tp;
+  topo::HostAttachment hp;
+  hp.num_hosts = n;
+  const net::GraphUnderlay underlay = topo::make_transit_stub_underlay(tp, hp, rng);
+  std::vector<net::HostId> members(n);
+  for (net::HostId h = 0; h < n; ++h) members[h] = h;
+  const auto metric = [&underlay](net::HostId a, net::HostId b) {
+    return underlay.rtt(a, b);
+  };
+  // Warm the routing caches so the benchmark measures Prim, not Dijkstra.
+  (void)topo::prim_mst(members, 0, metric);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::prim_mst(members, 0, metric).total_cost);
+  }
+}
+BENCHMARK(BM_PrimMstOverHosts)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ChunkFloodOverTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  topo::TransitStubParams tp;
+  topo::HostAttachment hp;
+  hp.num_hosts = n + 1;
+  const net::GraphUnderlay underlay = topo::make_transit_stub_underlay(tp, hp, rng);
+  core::VdmProtocol vdm;
+  overlay::DelayMetric metric;
+  sim::Simulator simulator;
+  overlay::SessionParams sp;
+  sp.source = 0;
+  sp.chunk_rate = 1000.0;  // one chunk per step() below
+  overlay::Session session(simulator, underlay, vdm, metric, sp, rng.split(1));
+  session.start();
+  for (net::HostId h = 1; h <= n; ++h) session.join(h, 4);
+  for (auto _ : state) {
+    simulator.step();  // each step delivers one chunk down the whole tree
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChunkFloodOverTree)->Arg(100)->Arg(500);
+
+}  // namespace

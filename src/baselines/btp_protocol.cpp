@@ -1,0 +1,86 @@
+#include "baselines/btp_protocol.hpp"
+
+#include <limits>
+
+#include "overlay/session.hpp"
+#include "util/require.hpp"
+
+namespace vdm::baselines {
+
+using overlay::OpStats;
+using overlay::Session;
+
+OpStats BtpProtocol::execute_join(Session& s, net::HostId n, net::HostId start) {
+  OpStats stats;
+  overlay::Membership& tree = s.tree();
+  net::HostId cur = start;
+  if (!s.eligible_parent(n, cur)) cur = s.source();
+
+  // BTP connects straight to the contacted node; when it is saturated,
+  // walk down through its closest child until a slot is found (the
+  // original protocol simply rejects, but a streaming session must place
+  // every viewer somewhere).
+  for (;;) {
+    ++stats.iterations;
+    s.charge_exchange(n, cur, stats);
+    if (tree.member(cur).has_free_degree()) break;
+    std::vector<net::HostId> kids;
+    for (const net::HostId c : tree.member(cur).children) {
+      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
+    }
+    VDM_REQUIRE_MSG(!kids.empty(), "saturated leaf cannot exist");
+    const std::vector<double> dist = s.measure_parallel(n, kids, stats);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      if (dist[i] < dist[best]) best = i;
+    }
+    cur = kids[best];
+  }
+  const double d = s.measure(n, cur, stats);
+  s.charge_exchange(n, cur, stats);  // connection handshake
+  tree.attach(n, cur, d);
+  stats.parent_changed = true;
+  return stats;
+}
+
+OpStats BtpProtocol::execute_refine(Session& s, net::HostId n) {
+  OpStats stats;
+  if (n == s.source()) return stats;
+  overlay::Membership& tree = s.tree();
+  const overlay::MemberState& m = tree.member(n);
+  if (!m.alive || m.parent == net::kInvalidHost) return stats;
+
+  // Sibling switch (Figure 2.7): ask the parent for the sibling list,
+  // probe them, and move under the closest sibling if it beats the current
+  // parent by the margin and still has capacity.
+  const net::HostId parent = m.parent;
+  s.charge_exchange(n, parent, stats);
+  std::vector<net::HostId> siblings;
+  for (const net::HostId c : tree.member(parent).children) {
+    if (c != n && s.eligible_parent(n, c)) siblings.push_back(c);
+  }
+  if (siblings.empty()) return stats;
+  const std::vector<double> dist = s.measure_parallel(n, siblings, stats);
+
+  const double current = tree.stored_child_distance(parent, n);
+  net::HostId best = net::kInvalidHost;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < siblings.size(); ++i) {
+    if (!tree.member(siblings[i]).has_free_degree()) continue;
+    if (dist[i] < best_d) {
+      best_d = dist[i];
+      best = siblings[i];
+    }
+  }
+  if (best == net::kInvalidHost) return stats;
+  if (best_d >= current * (1.0 - config_.switch_margin)) return stats;
+
+  s.charge_exchange(n, best, stats);
+  tree.detach(n);
+  tree.attach(n, best, best_d);
+  s.charge_notification(1 + static_cast<int>(tree.member(n).children.size()), stats);
+  stats.parent_changed = true;
+  return stats;
+}
+
+}  // namespace vdm::baselines

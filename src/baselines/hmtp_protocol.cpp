@@ -1,0 +1,152 @@
+#include "baselines/hmtp_protocol.hpp"
+
+#include <limits>
+
+#include "overlay/session.hpp"
+#include "util/require.hpp"
+
+namespace vdm::baselines {
+
+using overlay::OpStats;
+using overlay::Session;
+
+HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
+                                                net::HostId start,
+                                                OpStats& stats) const {
+  overlay::Membership& tree = s.tree();
+  net::HostId cur = start;
+  if (!s.eligible_parent(n, cur)) cur = s.source();
+  VDM_REQUIRE(s.eligible_parent(n, cur));
+
+  double d_cur = s.measure(n, cur, stats);
+  for (;;) {
+    ++stats.iterations;
+    // Fetch the children list from the current node, then probe them all.
+    s.charge_exchange(n, cur, stats);
+    std::vector<net::HostId> kids;
+    for (const net::HostId c : tree.member(cur).children) {
+      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
+    }
+    if (kids.empty()) return {cur, d_cur};
+    const std::vector<double> dist = s.measure_parallel(n, kids, stats);
+
+    std::size_t closest = 0;
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      if (dist[i] < dist[closest]) closest = i;
+    }
+    if (dist[closest] < d_cur) {
+      // A child is closer than the current node. U-turn check first: if the
+      // newcomer lies between the current node and that child (it is closer
+      // to the current node than the child is), descending would hang N
+      // below C while the data doubles back — attach to the current node
+      // and let refinement re-hang C later (§3.5 Scenario I/II).
+      if (config_.u_turn_rule &&
+          d_cur < tree.stored_child_distance(cur, kids[closest])) {
+        const bool room =
+            tree.member(cur).has_free_degree() || tree.member(n).parent == cur;
+        if (room) return {cur, d_cur};
+        // Saturated: the paper's degree-limitation caveat — fall through to
+        // the normal descent.
+      }
+      cur = kids[closest];
+      d_cur = dist[closest];
+      continue;
+    }
+    // The current node is the closest member found: attach here if it has
+    // room (a node re-choosing its own parent always "has room" there)...
+    const bool cur_has_room =
+        tree.member(cur).has_free_degree() || tree.member(n).parent == cur;
+    if (cur_has_room) return {cur, d_cur};
+
+    // ... otherwise flag the saturated node and fall back to its closest
+    // child that can still accept a connection (§2.4.7's "looks for next
+    // available child").
+    net::HostId best_free = net::kInvalidHost;
+    double best_free_d = std::numeric_limits<double>::infinity();
+    std::size_t best_any = 0;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const bool has_room =
+          tree.member(kids[i]).has_free_degree() || tree.member(n).parent == kids[i];
+      if (has_room && dist[i] < best_free_d) {
+        best_free_d = dist[i];
+        best_free = kids[i];
+      }
+      if (dist[i] < dist[best_any]) best_any = i;
+    }
+    if (best_free != net::kInvalidHost) return {best_free, best_free_d};
+
+    // Every child saturated as well: keep descending through the closest.
+    cur = kids[best_any];
+    d_cur = dist[best_any];
+  }
+}
+
+OpStats HmtpProtocol::execute_join(Session& session, net::HostId joiner,
+                                   net::HostId start) {
+  OpStats stats;
+  overlay::Membership& tree = session.tree();
+
+  net::HostId anchor = start;
+  if (!session.eligible_parent(joiner, anchor)) anchor = session.source();
+
+  // Foster-child quick start: hook onto the contacted node right away so
+  // the stream begins after a single handshake; the proper parent search
+  // runs while already receiving, so only its messages (not its latency)
+  // burden the user-visible startup time.
+  if (config_.foster_child && tree.member(anchor).has_free_degree()) {
+    const double anchor_dist = session.measure(joiner, anchor, stats);
+    session.charge_exchange(joiner, anchor, stats);
+    tree.attach(joiner, anchor, anchor_dist);
+    stats.parent_changed = true;
+
+    OpStats search_stats;
+    const SearchResult found = search(session, joiner, anchor, search_stats);
+    stats.messages += search_stats.messages;
+    stats.iterations += search_stats.iterations;
+    if (found.parent != anchor) {
+      OpStats move_stats;
+      session.charge_exchange(joiner, found.parent, move_stats);
+      stats.messages += move_stats.messages;
+      tree.move_child(joiner, found.parent, found.dist);
+    }
+    return stats;
+  }
+
+  const SearchResult found = search(session, joiner, anchor, stats);
+  session.charge_exchange(joiner, found.parent, stats);  // connection handshake
+  tree.attach(joiner, found.parent, found.dist);
+  stats.parent_changed = true;
+  return stats;
+}
+
+OpStats HmtpProtocol::execute_refine(Session& session, net::HostId node) {
+  OpStats stats;
+  if (node == session.source()) return stats;
+  overlay::Membership& tree = session.tree();
+  const overlay::MemberState& m = tree.member(node);
+  if (!m.alive || m.parent == net::kInvalidHost) return stats;
+
+  // HMTP refinement: restart the join search at a random node of the root
+  // path (§2.4.7: "Each node randomly selects a peer in its root path and
+  // looks for if any closer peer than its parent connected in meantime").
+  const std::vector<net::HostId> path = tree.root_path(node);
+  VDM_REQUIRE(!path.empty());
+  const net::HostId start = path[static_cast<std::size_t>(
+      session.rng().uniform_int(0, static_cast<std::int64_t>(path.size()) - 1))];
+
+  const SearchResult found = search(session, node, start, stats);
+  if (found.parent == m.parent) return stats;
+  const double current = tree.stored_child_distance(m.parent, node);
+  if (found.dist >= current * (1.0 - config_.switch_margin)) return stats;
+
+  session.charge_exchange(node, found.parent, stats);
+  tree.detach(node);
+  tree.attach(node, found.parent, found.dist);
+  // The old parent learns of the departure; children's grandparent changes.
+  session.charge_notification(
+      1 + static_cast<int>(tree.member(node).children.size()), stats);
+  stats.parent_changed = true;
+  return stats;
+}
+
+}  // namespace vdm::baselines

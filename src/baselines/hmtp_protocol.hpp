@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "overlay/protocol.hpp"
+#include "sim/time.hpp"
+
+namespace vdm::baselines {
+
+/// Configuration of the HMTP baseline.
+struct HmtpConfig {
+  /// Periodic tree refinement is part of HMTP's design (it is how a node
+  /// ever discovers a closer parent that joined later), so it defaults on.
+  /// The dissertation's PlanetLab runs used a 30 s period.
+  bool refinement = true;
+  sim::Time refinement_period = sim::seconds(30);
+  /// A refinement switch must improve the parent distance by this relative
+  /// margin to fire (hysteresis against measurement jitter).
+  double switch_margin = 0.05;
+  /// The dissertation's U-turn rule (§3.5 Scenario I/II): when the newcomer
+  /// appears to lie *between* the current node and its closest child
+  /// (d(N,cur) < d(cur,C)), HMTP attaches to the current node "so that C
+  /// can find N in the refinement stage" instead of descending — it has no
+  /// Case II splice. This is what VDM's directionality fixes in one shot;
+  /// disable to get the plain greedy-descent HMTP of Zhang et al.
+  bool u_turn_rule = true;
+  /// Foster-child quick start (§2.4.7): "A node connects root at the
+  /// beginning to start stream immediately. Then, it jumps to ideal parent
+  /// when it is found." With this on, the joiner's startup time is one
+  /// handshake with the root (stream flows immediately); the parent search
+  /// still runs and costs its messages, but off the critical path.
+  bool foster_child = false;
+};
+
+/// Host Multicast Tree Protocol (Zhang et al.) as described in §2.4.7/§3.5 —
+/// the paper's head-to-head baseline.
+///
+/// Join: starting at the source, greedily descend to the closest child as
+/// long as it is closer than the current node; attach to the final node
+/// (or, when it is saturated, to its closest child with a free slot). The
+/// U-turn inefficiency this greedy rule produces is exactly what VDM's
+/// directionality avoids; HMTP compensates with periodic refinement: each
+/// member re-runs the search from a random node on its root path and
+/// switches when it finds a closer parent.
+class HmtpProtocol final : public overlay::Protocol {
+ public:
+  explicit HmtpProtocol(const HmtpConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "HMTP"; }
+
+  overlay::OpStats execute_join(overlay::Session& session, net::HostId joiner,
+                                net::HostId start) override;
+  overlay::OpStats execute_refine(overlay::Session& session,
+                                  net::HostId node) override;
+
+  bool wants_refinement() const override { return config_.refinement; }
+  sim::Time refinement_period() const override { return config_.refinement_period; }
+
+  const HmtpConfig& config() const { return config_; }
+
+ private:
+  struct SearchResult {
+    net::HostId parent = net::kInvalidHost;
+    double dist = 0.0;
+  };
+  SearchResult search(overlay::Session& session, net::HostId joiner,
+                      net::HostId start, overlay::OpStats& stats) const;
+
+  HmtpConfig config_;
+};
+
+}  // namespace vdm::baselines

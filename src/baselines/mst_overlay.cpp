@@ -1,0 +1,36 @@
+#include "baselines/mst_overlay.hpp"
+
+#include "util/require.hpp"
+
+namespace vdm::baselines {
+
+topo::HostMetric rtt_metric(const net::Underlay& underlay) {
+  return [&underlay](net::HostId a, net::HostId b) { return underlay.rtt(a, b); };
+}
+
+double overlay_tree_cost(const overlay::Membership& tree, net::HostId source,
+                         const net::Underlay& underlay) {
+  double cost = 0.0;
+  for (const net::HostId h : tree.alive_members()) {
+    const overlay::MemberState& m = tree.member(h);
+    if (h == source || m.parent == net::kInvalidHost) continue;
+    cost += underlay.rtt(h, m.parent);
+  }
+  return cost;
+}
+
+double mst_cost(const overlay::Membership& tree, net::HostId source,
+                const net::Underlay& underlay) {
+  const std::vector<net::HostId> members = tree.alive_members();
+  VDM_REQUIRE(!members.empty());
+  return topo::prim_mst(members, source, rtt_metric(underlay)).total_cost;
+}
+
+double mst_ratio(const overlay::Membership& tree, net::HostId source,
+                 const net::Underlay& underlay) {
+  const double mst = mst_cost(tree, source, underlay);
+  if (mst <= 0.0) return 1.0;
+  return overlay_tree_cost(tree, source, underlay) / mst;
+}
+
+}  // namespace vdm::baselines

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "net/underlay.hpp"
+#include "overlay/membership.hpp"
+#include "topology/mst.hpp"
+
+namespace vdm::baselines {
+
+/// Centralized minimum-spanning-tree reference (§5.4.6): an oracle that
+/// sees all pairwise RTTs at once — the bound VDM "tries to converge to
+/// with local and simplistic methods".
+
+/// RTT metric over an underlay, usable with the MST routines.
+topo::HostMetric rtt_metric(const net::Underlay& underlay);
+
+/// Cost (sum of RTTs over parent-child edges) of the current overlay tree
+/// spanning exactly the alive members of `tree` rooted at `source`.
+double overlay_tree_cost(const overlay::Membership& tree, net::HostId source,
+                         const net::Underlay& underlay);
+
+/// Cost of the exact MST over the same member set (degree-unconstrained,
+/// like the paper's Figure 5.31 comparison).
+double mst_cost(const overlay::Membership& tree, net::HostId source,
+                const net::Underlay& underlay);
+
+/// overlay_tree_cost / mst_cost — the Figure 5.31 y-axis (>= 1).
+double mst_ratio(const overlay::Membership& tree, net::HostId source,
+                 const net::Underlay& underlay);
+
+}  // namespace vdm::baselines

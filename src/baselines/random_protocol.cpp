@@ -1,0 +1,40 @@
+#include "baselines/random_protocol.hpp"
+
+#include "overlay/session.hpp"
+#include "util/require.hpp"
+
+namespace vdm::baselines {
+
+overlay::OpStats RandomProtocol::execute_join(overlay::Session& s,
+                                              net::HostId n, net::HostId start) {
+  overlay::OpStats stats;
+  overlay::Membership& tree = s.tree();
+  net::HostId cur = start;
+  if (!s.eligible_parent(n, cur)) cur = s.source();
+
+  // Random walk: at each node, either stop here (if it has room) with
+  // probability 1/2, or step to a random child. Terminates because a leaf
+  // always has room.
+  for (;;) {
+    ++stats.iterations;
+    s.charge_exchange(n, cur, stats);
+    std::vector<net::HostId> kids;
+    for (const net::HostId c : tree.member(cur).children) {
+      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
+    }
+    const bool has_room = tree.member(cur).has_free_degree();
+    if (kids.empty() || (has_room && s.rng().chance(0.5))) {
+      if (has_room) break;
+      VDM_REQUIRE_MSG(!kids.empty(), "saturated leaf cannot exist");
+    }
+    cur = kids[static_cast<std::size_t>(
+        s.rng().uniform_int(0, static_cast<std::int64_t>(kids.size()) - 1))];
+  }
+  const double dist = s.measure(n, cur, stats);
+  s.charge_exchange(n, cur, stats);
+  tree.attach(n, cur, dist);
+  stats.parent_changed = true;
+  return stats;
+}
+
+}  // namespace vdm::baselines

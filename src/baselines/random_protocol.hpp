@@ -1,0 +1,19 @@
+#pragma once
+
+#include "overlay/protocol.hpp"
+
+namespace vdm::baselines {
+
+/// Naive baseline: attach to a uniformly random member with a free slot
+/// (found by a random walk down the tree, charging realistic message
+/// costs). Represents an overlay with no locality awareness at all; used in
+/// tests and as the lower bound in ablation benches.
+class RandomProtocol final : public overlay::Protocol {
+ public:
+  std::string_view name() const override { return "Random"; }
+
+  overlay::OpStats execute_join(overlay::Session& session, net::HostId joiner,
+                                net::HostId start) override;
+};
+
+}  // namespace vdm::baselines

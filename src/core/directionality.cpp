@@ -1,0 +1,27 @@
+#include "core/directionality.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace vdm::core {
+
+DirCase classify_direction(double d_np, double d_nc, double d_pc,
+                           double rel_epsilon) {
+  VDM_REQUIRE(d_np >= 0.0 && d_nc >= 0.0 && d_pc >= 0.0);
+  VDM_REQUIRE(rel_epsilon >= 0.0);
+  const double longest = std::max({d_np, d_nc, d_pc});
+  const double margin = rel_epsilon * longest;
+
+  if (d_pc >= longest && d_pc > d_np + margin && d_pc > d_nc + margin) {
+    return DirCase::kCaseII;
+  }
+  if (d_np >= longest && d_np > d_pc + margin && d_np > d_nc + margin) {
+    return DirCase::kCaseIII;
+  }
+  // d_nc is the (possibly tied) longest: the parent separates newcomer and
+  // child — or the triple is too symmetric to call a direction.
+  return DirCase::kCaseI;
+}
+
+}  // namespace vdm::core

@@ -1,0 +1,29 @@
+#pragma once
+
+namespace vdm::core {
+
+/// Outcome of classifying a (parent P, child C, newcomer N) triple by its
+/// three pairwise virtual distances — the 1-D "virtual directionality on a
+/// line" abstraction of §3.1.2. The longest of the three distances decides
+/// which node lies between the other two:
+///
+///   d(N,C) longest  ->  P between N and C  ->  Case I   (C not directional)
+///   d(P,C) longest  ->  N between P and C  ->  Case II  (N splices in)
+///   d(N,P) longest  ->  C between P and N  ->  Case III (descend through C)
+enum class DirCase {
+  kCaseI,    ///< no shared direction with this child
+  kCaseII,   ///< newcomer belongs between parent and child
+  kCaseIII,  ///< child lies towards the newcomer; continue the search there
+};
+
+/// Classifies one triple. `d_np` = dist(newcomer, parent), `d_nc` =
+/// dist(newcomer, child), `d_pc` = dist(parent, child), all >= 0.
+///
+/// `rel_epsilon` is the directionality margin: the longest side must exceed
+/// the runner-up by epsilon * longest to count as a clear direction;
+/// near-ties degrade to Case I (measurement noise must not trigger
+/// restructuring — Case II moves an existing subtree).
+DirCase classify_direction(double d_np, double d_nc, double d_pc,
+                           double rel_epsilon = 0.02);
+
+}  // namespace vdm::core

@@ -1,0 +1,194 @@
+#include "core/vdm_protocol.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/directionality.hpp"
+#include "overlay/session.hpp"
+#include "util/require.hpp"
+
+namespace vdm::core {
+
+using overlay::OpStats;
+using overlay::Session;
+
+VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
+                                             net::HostId start,
+                                             OpStats& stats) const {
+  overlay::Membership& tree = s.tree();
+  const overlay::MemberState& nm = tree.member(n);
+  const int free_slots = nm.degree_limit - static_cast<int>(nm.children.size());
+
+  net::HostId cur = start;
+  if (!s.eligible_parent(n, cur)) cur = s.source();
+  VDM_REQUIRE(s.eligible_parent(n, cur));
+
+  for (;;) {
+    ++stats.iterations;
+    // Information request/response with the current node: children list and
+    // the node's stored distances to them (§3.2 control messages).
+    s.charge_exchange(n, cur, stats);
+
+    std::vector<net::HostId> kids;
+    for (const net::HostId c : tree.member(cur).children) {
+      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
+    }
+
+    // "N pings S and all children of S" — concurrent probes.
+    std::vector<net::HostId> targets;
+    targets.reserve(kids.size() + 1);
+    targets.push_back(cur);
+    targets.insert(targets.end(), kids.begin(), kids.end());
+    const std::vector<double> dist = s.measure_parallel(n, targets, stats);
+    const double d_ncur = dist[0];
+
+    // Classify every (cur, child, newcomer) triple.
+    net::HostId best3 = net::kInvalidHost;
+    double best3_dist = std::numeric_limits<double>::infinity();
+    std::vector<JoinPlan::Adoption> case2;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const double d_nc = dist[i + 1];
+      const double d_pc = tree.stored_child_distance(cur, kids[i]);
+      DirCase dir = classify_direction(d_ncur, d_nc, d_pc, config_.epsilon_rel);
+      if (dir == DirCase::kCaseII && config_.case2_descend_ratio > 1.0 &&
+          d_ncur > config_.case2_descend_ratio * d_nc) {
+        // Degenerate Case II: the newcomer is essentially at the child, not
+        // between the endpoints — follow the child's direction instead.
+        dir = DirCase::kCaseIII;
+      }
+      switch (dir) {
+        case DirCase::kCaseIII:
+          if (d_nc < best3_dist) {
+            best3_dist = d_nc;
+            best3 = kids[i];
+          }
+          break;
+        case DirCase::kCaseII:
+          case2.push_back({kids[i], d_nc});
+          break;
+        case DirCase::kCaseI:
+          break;
+      }
+    }
+
+    // Case III dominates Case II: continue the search from the closest
+    // directional child (§3.2, Scenario III).
+    if (best3 != net::kInvalidHost) {
+      ++case_stats_.case3_descents;
+      cur = best3;
+      continue;
+    }
+
+    // Case II: splice in, adopting the closest Case II children the
+    // joiner's remaining degree allows ("we make connections as long as
+    // the new node allows"). Requires at least one free slot, otherwise
+    // the joiner cannot take over any child and Case II degenerates.
+    if (!case2.empty() && free_slots > 0) {
+      std::sort(case2.begin(), case2.end(),
+                [](const auto& a, const auto& b) { return a.dist < b.dist; });
+      if (case2.size() > static_cast<std::size_t>(free_slots)) {
+        case2.resize(static_cast<std::size_t>(free_slots));
+      }
+      ++case_stats_.case2_splice;
+      case_stats_.case2_adoptions += case2.size();
+      JoinPlan plan;
+      plan.parent = cur;
+      plan.parent_dist = d_ncur;
+      plan.adoptions = std::move(case2);
+      return plan;
+    }
+
+    // Case I everywhere: attach to the current node if it can take us.
+    // During refinement the node's current parent counts as having room —
+    // re-choosing it must not look like a full parent.
+    const bool cur_has_room =
+        tree.member(cur).has_free_degree() || tree.member(n).parent == cur;
+    if (cur_has_room) {
+      ++case_stats_.case1_attach;
+      return JoinPlan{cur, d_ncur, {}};
+    }
+
+    // Otherwise the closest child with a free slot (§3.2: "it connects to
+    // the closest free child")...
+    net::HostId best_free = net::kInvalidHost, best_any = net::kInvalidHost;
+    double best_free_d = std::numeric_limits<double>::infinity();
+    double best_any_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const double d_nc = dist[i + 1];
+      const bool has_room =
+          tree.member(kids[i]).has_free_degree() || tree.member(n).parent == kids[i];
+      if (has_room && d_nc < best_free_d) {
+        best_free_d = d_nc;
+        best_free = kids[i];
+      }
+      if (d_nc < best_any_d) {
+        best_any_d = d_nc;
+        best_any = kids[i];
+      }
+    }
+    if (best_free != net::kInvalidHost) {
+      ++case_stats_.full_fallback_child;
+      return JoinPlan{best_free, best_free_d, {}};
+    }
+
+    // ... and if every child is saturated too, keep descending through the
+    // closest one (a full node always has children, so this terminates at
+    // some leaf, which by degree_limit >= 1 has room).
+    VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
+                    "full node without children cannot exist");
+    ++case_stats_.full_fallback_descend;
+    cur = best_any;
+  }
+}
+
+void VdmProtocol::apply_plan(Session& s, net::HostId n, const JoinPlan& plan,
+                             OpStats& stats) const {
+  overlay::Membership& tree = s.tree();
+
+  // Connection request/response with the chosen parent.
+  s.charge_exchange(n, plan.parent, stats);
+
+  // Case II: free the adopted children's slots first so the joiner can take
+  // one of them even at a saturated parent ("If CaseII, this is not an
+  // obligation" — §5.2.2 connection_request).
+  for (const JoinPlan::Adoption& a : plan.adoptions) {
+    tree.detach(a.child);
+  }
+  tree.attach(n, plan.parent, plan.parent_dist);
+  for (const JoinPlan::Adoption& a : plan.adoptions) {
+    tree.attach(a.child, n, a.dist);
+    // parent_change to the adopted child, grand_parent_change to each of
+    // its children (§5.2.2 control messages).
+    s.charge_notification(1, stats);
+    s.charge_notification(static_cast<int>(tree.member(a.child).children.size()),
+                          stats);
+  }
+  stats.parent_changed = true;
+}
+
+OpStats VdmProtocol::execute_join(Session& session, net::HostId joiner,
+                                  net::HostId start) {
+  OpStats stats;
+  const JoinPlan plan = plan_join(session, joiner, start, stats);
+  apply_plan(session, joiner, plan, stats);
+  return stats;
+}
+
+OpStats VdmProtocol::execute_refine(Session& session, net::HostId node) {
+  OpStats stats;
+  if (node == session.source()) return stats;
+  overlay::Membership& tree = session.tree();
+  const overlay::MemberState& m = tree.member(node);
+  if (!m.alive || m.parent == net::kInvalidHost) return stats;
+
+  // Re-run the join search from the source; switch only if it lands on a
+  // different parent (§3.4).
+  const JoinPlan plan = plan_join(session, node, session.source(), stats);
+  if (plan.parent == m.parent) return stats;
+
+  tree.detach(node);
+  apply_plan(session, node, plan, stats);
+  return stats;
+}
+
+}  // namespace vdm::core

@@ -1,0 +1,271 @@
+#include "experiments/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "baselines/btp_protocol.hpp"
+#include "baselines/hmtp_protocol.hpp"
+#include "baselines/mst_overlay.hpp"
+#include "baselines/random_protocol.hpp"
+#include "core/vdm_protocol.hpp"
+#include "sim/simulator.hpp"
+#include "topology/geo.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+#include "util/require.hpp"
+
+namespace vdm::experiments {
+
+namespace {
+
+std::size_t auto_pool(const overlay::ScenarioParams& scenario) {
+  // Enough spare hosts that churn joiners never exhaust the pool: target
+  // members + source + 60% slack (the paper drew 200 members from 792
+  // router attachment points).
+  return scenario.target_members + 1 +
+         std::max<std::size_t>(8, scenario.target_members * 3 / 5);
+}
+
+std::unique_ptr<net::Underlay> build_underlay(const RunConfig& cfg,
+                                              std::size_t pool, util::Rng& rng) {
+  switch (cfg.substrate) {
+    case Substrate::kTransitStub: {
+      topo::TransitStubParams tp;
+      if (cfg.routers > 0) {
+        // Scale the stub tier to approximate the requested router count
+        // while keeping the paper's 4x6 transit core.
+        const std::size_t transit = tp.transit_domains * tp.routers_per_transit;
+        if (cfg.routers > transit) {
+          const std::size_t stub_total = cfg.routers - transit;
+          tp.routers_per_stub = std::max<std::size_t>(
+              2, stub_total / (transit * tp.stub_domains_per_transit_router));
+        }
+      }
+      tp.loss_max = cfg.link_loss_max;
+      topo::HostAttachment hp;
+      hp.num_hosts = pool;
+      hp.loss_max = 0.0;  // loss lives on router links, as in Chapter 4
+      return std::make_unique<net::GraphUnderlay>(
+          topo::make_transit_stub_underlay(tp, hp, rng));
+    }
+    case Substrate::kWaxman: {
+      topo::WaxmanParams wp;
+      if (cfg.routers > 0) wp.num_routers = cfg.routers;
+      wp.loss_max = cfg.link_loss_max;
+      topo::WaxmanTopology wt = topo::make_waxman(wp, rng);
+      std::vector<net::NodeId> all_routers;
+      all_routers.reserve(wt.graph.num_nodes());
+      for (net::NodeId v = 0; v < wt.graph.num_nodes(); ++v) all_routers.push_back(v);
+      topo::HostAttachment hp;
+      hp.num_hosts = pool;
+      return std::make_unique<net::GraphUnderlay>(
+          topo::attach_hosts(std::move(wt.graph), all_routers, hp, rng));
+    }
+    case Substrate::kGeoUs:
+    case Substrate::kGeoWorld: {
+      topo::GeoParams gp;
+      gp.num_hosts = pool;
+      gp.regions = cfg.substrate == Substrate::kGeoUs ? topo::us_regions()
+                                                      : topo::world_regions();
+      if (cfg.link_loss_max > 0.0) {
+        gp.loss_noise = cfg.link_loss_max;
+        gp.loss_max = cfg.link_loss_max;
+      }
+      topo::GeoTopology gt = topo::make_geo(gp, rng);
+      return std::make_unique<net::MatrixUnderlay>(std::move(gt.underlay));
+    }
+  }
+  VDM_REQUIRE_MSG(false, "unknown substrate");
+  return nullptr;
+}
+
+std::unique_ptr<overlay::Protocol> build_protocol(const RunConfig& cfg) {
+  core::VdmConfig vc;
+  vc.epsilon_rel = cfg.vdm_epsilon;
+  vc.case2_descend_ratio = cfg.vdm_case2_descend_ratio;
+  vc.refinement_period = cfg.vdm_refine_period;
+  switch (cfg.protocol) {
+    case Proto::kVdm:
+      return std::make_unique<core::VdmProtocol>(vc);
+    case Proto::kVdmRefine:
+      vc.refinement = true;
+      return std::make_unique<core::VdmProtocol>(vc);
+    case Proto::kHmtp: {
+      baselines::HmtpConfig hc;
+      hc.refinement = cfg.hmtp_refinement;
+      hc.refinement_period = cfg.hmtp_refine_period;
+      hc.u_turn_rule = cfg.hmtp_u_turn_rule;
+      hc.foster_child = cfg.hmtp_foster_child;
+      return std::make_unique<baselines::HmtpProtocol>(hc);
+    }
+    case Proto::kBtp:
+      return std::make_unique<baselines::BtpProtocol>();
+    case Proto::kRandom:
+      return std::make_unique<baselines::RandomProtocol>();
+  }
+  VDM_REQUIRE_MSG(false, "unknown protocol");
+  return nullptr;
+}
+
+std::unique_ptr<overlay::MetricProvider> build_metric(const RunConfig& cfg,
+                                                      const sim::Simulator& clock) {
+  switch (cfg.metric) {
+    case Metric::kDelay:
+      return std::make_unique<overlay::DelayMetric>(cfg.probe_noise);
+    case Metric::kLoss:
+      return std::make_unique<overlay::LossMetric>();
+    case Metric::kBlend:
+      return std::make_unique<overlay::BlendMetric>(0.5, 0.5);
+    case Metric::kCachedDelay:
+      return std::make_unique<overlay::CachedMetric>(
+          std::make_unique<overlay::DelayMetric>(cfg.probe_noise), clock,
+          cfg.metric_cache_ttl);
+    case Metric::kCachedLoss:
+      return std::make_unique<overlay::CachedMetric>(
+          std::make_unique<overlay::LossMetric>(), clock, cfg.metric_cache_ttl);
+  }
+  VDM_REQUIRE_MSG(false, "unknown metric");
+  return nullptr;
+}
+
+double mean_or_zero(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double max_or_zero(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace
+
+RunResult run_once(const RunConfig& config) {
+  util::Rng root(config.seed);
+  util::Rng topo_rng = root.split(1);
+  util::Rng scenario_rng = root.split(2);
+  util::Rng session_rng = root.split(3);
+
+  const std::size_t pool =
+      config.host_pool > 0 ? config.host_pool : auto_pool(config.scenario);
+  VDM_REQUIRE(pool > config.scenario.target_members);
+
+  const std::unique_ptr<net::Underlay> underlay = build_underlay(config, pool, topo_rng);
+  const std::unique_ptr<overlay::Protocol> protocol = build_protocol(config);
+
+  sim::Simulator simulator;
+  const std::unique_ptr<overlay::MetricProvider> metric = build_metric(config, simulator);
+  overlay::SessionParams sp = config.session;
+  sp.source = 0;
+  overlay::Session session(simulator, *underlay, *protocol, *metric, sp, session_rng);
+  metrics::Collector collector(session);
+  overlay::ScenarioDriver driver(session, config.scenario, scenario_rng);
+  driver.run([&](sim::Time at) { collector.capture(at); });
+
+  const std::size_t skip =
+      std::min(config.epoch_skip, collector.samples().empty()
+                                      ? std::size_t{0}
+                                      : collector.samples().size() - 1);
+  RunResult r;
+  r.stress = collector.mean_stress(skip);
+  r.stress_max = collector.mean_of(
+      [](const metrics::EpochSample& e) { return e.tree.stress_max; }, skip);
+  r.stretch = collector.mean_stretch(skip);
+  r.stretch_leaf = collector.mean_of(
+      [](const metrics::EpochSample& e) { return e.tree.stretch_leaf_avg; }, skip);
+  r.stretch_max = collector.mean_of(
+      [](const metrics::EpochSample& e) { return e.tree.stretch_max; }, skip);
+  r.stretch_min = collector.mean_of(
+      [](const metrics::EpochSample& e) { return e.tree.stretch_min; }, skip);
+  r.hopcount = collector.mean_hopcount(skip);
+  r.hop_leaf = collector.mean_of(
+      [](const metrics::EpochSample& e) { return e.tree.hop_leaf_avg; }, skip);
+  r.hop_max = collector.mean_of(
+      [](const metrics::EpochSample& e) { return e.tree.hop_max; }, skip);
+  r.loss = collector.mean_loss(skip);
+  r.overhead = collector.mean_overhead(skip);
+  r.overhead_per_chunk = collector.mean_overhead_per_chunk(skip);
+  r.network_usage = collector.mean_network_usage(skip);
+
+  const std::vector<double> startups = collector.all_startup_times();
+  const std::vector<double> reconnects = collector.all_reconnect_times();
+  r.startup_avg = mean_or_zero(startups);
+  r.startup_max = max_or_zero(startups);
+  r.reconnect_avg = mean_or_zero(reconnects);
+  r.reconnect_max = max_or_zero(reconnects);
+
+  r.mst_ratio = baselines::mst_ratio(session.tree(), session.source(), *underlay);
+  r.final_members = session.tree().alive_members().size();
+  if (config.keep_epochs) r.epochs = collector.samples();
+  return r;
+}
+
+AggregateResult run_many(const RunConfig& config, std::size_t num_seeds,
+                         std::size_t threads, double confidence) {
+  VDM_REQUIRE(num_seeds >= 1);
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, num_seeds);
+
+  std::vector<RunResult> runs(num_seeds);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= num_seeds) return;
+      RunConfig cfg = config;
+      cfg.seed = config.seed + i;
+      runs[i] = run_once(cfg);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  auto summarize_field = [&](double RunResult::* field) {
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const RunResult& r : runs) v.push_back(r.*field);
+    return util::summarize(v, confidence);
+  };
+
+  AggregateResult agg;
+  agg.stress = summarize_field(&RunResult::stress);
+  agg.stretch = summarize_field(&RunResult::stretch);
+  agg.stretch_leaf = summarize_field(&RunResult::stretch_leaf);
+  agg.stretch_max = summarize_field(&RunResult::stretch_max);
+  agg.hopcount = summarize_field(&RunResult::hopcount);
+  agg.hop_leaf = summarize_field(&RunResult::hop_leaf);
+  agg.hop_max = summarize_field(&RunResult::hop_max);
+  agg.loss = summarize_field(&RunResult::loss);
+  agg.overhead = summarize_field(&RunResult::overhead);
+  agg.overhead_per_chunk = summarize_field(&RunResult::overhead_per_chunk);
+  agg.network_usage = summarize_field(&RunResult::network_usage);
+  agg.startup_avg = summarize_field(&RunResult::startup_avg);
+  agg.startup_max = summarize_field(&RunResult::startup_max);
+  agg.reconnect_avg = summarize_field(&RunResult::reconnect_avg);
+  agg.reconnect_max = summarize_field(&RunResult::reconnect_max);
+  agg.mst_ratio = summarize_field(&RunResult::mst_ratio);
+  agg.runs = std::move(runs);
+  return agg;
+}
+
+std::size_t default_seeds(std::size_t fast, std::size_t full) {
+  if (const char* env = std::getenv("VDM_SEEDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  if (const char* env = std::getenv("VDM_FULL")) {
+    if (env[0] == '1') return full;
+  }
+  return fast;
+}
+
+}  // namespace vdm::experiments

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "overlay/scenario.hpp"
+#include "overlay/session.hpp"
+#include "util/stats.hpp"
+
+namespace vdm::experiments {
+
+/// Which substrate a run simulates on.
+enum class Substrate {
+  kTransitStub,  ///< GT-ITM-style router graph (Chapter 3/4 setting)
+  kWaxman,       ///< flat Waxman router graph (robustness cross-check)
+  kGeoUs,        ///< PlanetLab-like latency space, US-only pool (Chapter 5)
+  kGeoWorld,     ///< PlanetLab-like latency space, world-wide pool
+};
+
+enum class Proto { kVdm, kVdmRefine, kHmtp, kBtp, kRandom };
+
+enum class Metric { kDelay, kLoss, kBlend, kCachedDelay, kCachedLoss };
+
+/// Complete description of one experiment run (or one seed of a family).
+struct RunConfig {
+  Substrate substrate = Substrate::kTransitStub;
+  Proto protocol = Proto::kVdm;
+  Metric metric = Metric::kDelay;
+
+  overlay::ScenarioParams scenario;
+  overlay::SessionParams session;
+
+  /// Host pool size; 0 = auto (enough spare hosts for churn joins).
+  std::size_t host_pool = 0;
+  /// Number of routers for router-graph substrates; 0 = paper default.
+  std::size_t routers = 0;
+
+  /// Per-link random error-rate ceiling for router substrates (Chapter 4:
+  /// "each physical link is assigned a random error rate between 0% and 2%")
+  /// or per-pair ceiling for geo substrates.
+  double link_loss_max = 0.0;
+  /// Multiplicative RTT measurement noise (std dev) — the PlanetLab-like
+  /// imperfection of probes.
+  double probe_noise = 0.0;
+
+  /// Protocol tuning (ablation knobs; defaults follow the paper).
+  double vdm_epsilon = 0.0;
+  double vdm_case2_descend_ratio = 0.0;
+  sim::Time vdm_refine_period = sim::minutes(3);
+  bool hmtp_refinement = true;
+  sim::Time hmtp_refine_period = sim::seconds(30);
+  bool hmtp_u_turn_rule = true;
+  bool hmtp_foster_child = false;
+  /// TTL of the cached measurement service (kCached* metrics).
+  sim::Time metric_cache_ttl = sim::seconds(300);
+
+  /// Epochs dropped from scalar aggregation (the join-phase epoch is noisy).
+  std::size_t epoch_skip = 1;
+  /// Retain the full epoch series in the result (Chapter-4 time plots).
+  bool keep_epochs = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// Scalars of one run: epoch means (after epoch_skip) plus event timings.
+struct RunResult {
+  double stress = 0.0;
+  double stress_max = 0.0;
+  double stretch = 0.0;
+  double stretch_leaf = 0.0;
+  double stretch_max = 0.0;
+  double stretch_min = 0.0;
+  double hopcount = 0.0;
+  double hop_leaf = 0.0;
+  double hop_max = 0.0;
+  double loss = 0.0;
+  double overhead = 0.0;
+  double overhead_per_chunk = 0.0;
+  double network_usage = 0.0;
+  double startup_avg = 0.0;
+  double startup_max = 0.0;
+  double reconnect_avg = 0.0;
+  double reconnect_max = 0.0;
+  /// Tree-cost / MST-cost on the final settled tree (Figure 5.31).
+  double mst_ratio = 1.0;
+  std::size_t final_members = 0;
+
+  std::vector<metrics::EpochSample> epochs;  // only if keep_epochs
+};
+
+/// Executes one seed end to end: build substrate, run scenario, measure.
+RunResult run_once(const RunConfig& config);
+
+/// Seed-aggregated statistics (one Summary per metric, paper-style 90% CI).
+struct AggregateResult {
+  util::Summary stress, stretch, stretch_leaf, stretch_max, hopcount, hop_leaf,
+      hop_max, loss, overhead, overhead_per_chunk, network_usage, startup_avg,
+      startup_max, reconnect_avg, reconnect_max, mst_ratio;
+  std::vector<RunResult> runs;
+};
+
+/// Runs `num_seeds` independent seeds (config.seed + i) on up to `threads`
+/// worker threads (0 = hardware concurrency) and aggregates.
+AggregateResult run_many(const RunConfig& config, std::size_t num_seeds,
+                         std::size_t threads = 0, double confidence = 0.90);
+
+/// Reads the VDM_FULL / VDM_SEEDS environment knobs: returns `fast` seeds
+/// normally, `full` (paper-scale) seeds when VDM_FULL=1, and VDM_SEEDS=<n>
+/// always wins. Lets `for b in build/bench/*` finish quickly by default.
+std::size_t default_seeds(std::size_t fast, std::size_t full);
+
+}  // namespace vdm::experiments

@@ -1,0 +1,86 @@
+#include "metrics/collector.hpp"
+
+#include "util/require.hpp"
+
+namespace vdm::metrics {
+
+void Collector::capture(sim::Time at) {
+  overlay::Session& s = *session_;
+  EpochSample e;
+  e.at = at;
+  e.tree = measure_tree(s.tree(), s.source(), s.underlay());
+
+  const overlay::Session::Counters& w = s.window();
+  e.control_messages = w.control_messages;
+  e.data_transmissions = w.data_transmissions;
+  if (w.chunks_expected > 0) {
+    e.loss_rate = 1.0 - static_cast<double>(w.chunks_delivered) /
+                            static_cast<double>(w.chunks_expected);
+  }
+  if (w.data_transmissions > 0) {
+    e.overhead = static_cast<double>(w.control_messages) /
+                 static_cast<double>(w.data_transmissions);
+  }
+  if (w.chunks_emitted > 0) {
+    e.overhead_per_chunk = static_cast<double>(w.control_messages) /
+                           static_cast<double>(w.chunks_emitted);
+  }
+  auto to_durations = [](const std::vector<overlay::TimingRecord>& recs) {
+    std::vector<double> out;
+    out.reserve(recs.size());
+    for (const auto& r : recs) out.push_back(r.duration);
+    return out;
+  };
+  e.startup_times = to_durations(s.take_startup_records());
+  e.reconnect_times = to_durations(s.take_reconnect_records());
+
+  samples_.push_back(std::move(e));
+  s.reset_window();
+}
+
+double Collector::mean_of(const std::function<double(const EpochSample&)>& get,
+                          std::size_t skip) const {
+  VDM_REQUIRE(get != nullptr);
+  if (samples_.size() <= skip) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = skip; i < samples_.size(); ++i) sum += get(samples_[i]);
+  return sum / static_cast<double>(samples_.size() - skip);
+}
+
+double Collector::mean_stress(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.tree.stress_avg; }, skip);
+}
+double Collector::mean_stretch(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.tree.stretch_avg; }, skip);
+}
+double Collector::mean_hopcount(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.tree.hop_avg; }, skip);
+}
+double Collector::mean_loss(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.loss_rate; }, skip);
+}
+double Collector::mean_overhead(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.overhead; }, skip);
+}
+double Collector::mean_overhead_per_chunk(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.overhead_per_chunk; }, skip);
+}
+double Collector::mean_network_usage(std::size_t skip) const {
+  return mean_of([](const EpochSample& e) { return e.tree.network_usage; }, skip);
+}
+
+std::vector<double> Collector::all_startup_times() const {
+  std::vector<double> out;
+  for (const auto& e : samples_)
+    out.insert(out.end(), e.startup_times.begin(), e.startup_times.end());
+  return out;
+}
+
+std::vector<double> Collector::all_reconnect_times() const {
+  std::vector<double> out;
+  for (const auto& e : samples_)
+    out.insert(out.end(), e.reconnect_times.begin(), e.reconnect_times.end());
+  return out;
+}
+
+}  // namespace vdm::metrics

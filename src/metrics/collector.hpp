@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "metrics/tree_metrics.hpp"
+#include "overlay/session.hpp"
+
+namespace vdm::metrics {
+
+/// One measurement epoch: the settled-tree snapshot plus the control/data
+/// window since the previous epoch.
+struct EpochSample {
+  sim::Time at = 0.0;
+  TreeMetrics tree;
+
+  /// 1 - delivered/expected over the window (0 when no chunks flowed).
+  double loss_rate = 0.0;
+  /// Control messages per data transmission over the window — the paper's
+  /// Equation 3.6 overhead.
+  double overhead = 0.0;
+  /// Control messages per source chunk (the Chapter-5 normalization).
+  double overhead_per_chunk = 0.0;
+
+  std::uint64_t control_messages = 0;
+  std::uint64_t data_transmissions = 0;
+
+  std::vector<double> startup_times;
+  std::vector<double> reconnect_times;
+};
+
+/// Captures epochs from a Session at measurement points and aggregates them
+/// into the scalar series the paper's figures plot.
+class Collector {
+ public:
+  explicit Collector(overlay::Session& session) : session_(&session) {}
+
+  /// Snapshot now, then reset the session's window counters. Call from the
+  /// ScenarioDriver's measurement callback.
+  void capture(sim::Time at);
+
+  const std::vector<EpochSample>& samples() const { return samples_; }
+
+  /// Mean of an epoch field over samples [skip, end).
+  double mean_of(const std::function<double(const EpochSample&)>& get,
+                 std::size_t skip = 0) const;
+
+  // Convenience accessors matching the figures' y-axes.
+  double mean_stress(std::size_t skip = 0) const;
+  double mean_stretch(std::size_t skip = 0) const;
+  double mean_hopcount(std::size_t skip = 0) const;
+  double mean_loss(std::size_t skip = 0) const;
+  double mean_overhead(std::size_t skip = 0) const;
+  double mean_overhead_per_chunk(std::size_t skip = 0) const;
+  double mean_network_usage(std::size_t skip = 0) const;
+
+  /// All startup / reconnection durations across all epochs.
+  std::vector<double> all_startup_times() const;
+  std::vector<double> all_reconnect_times() const;
+
+ private:
+  overlay::Session* session_;
+  std::vector<EpochSample> samples_;
+};
+
+}  // namespace vdm::metrics

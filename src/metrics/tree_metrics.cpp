@@ -1,0 +1,74 @@
+#include "metrics/tree_metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace vdm::metrics {
+
+TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
+                         const net::Underlay& underlay) {
+  TreeMetrics out;
+  const std::vector<net::HostId> alive = tree.alive_members();
+  out.members = alive.size();
+  if (!tree.member(source).alive) return out;
+
+  // Per-physical-link traversal counts over all overlay edges -> stress.
+  std::unordered_map<net::LinkId, std::size_t> link_count;
+  std::size_t traversals = 0;
+
+  util::OnlineStats stretch_all, stretch_leaf, hops_all, hops_leaf;
+  // Overlay delay from the source, computed top-down in one pass.
+  std::unordered_map<net::HostId, double> overlay_delay;
+  overlay_delay[source] = 0.0;
+
+  // BFS down the tree from the source.
+  std::vector<net::HostId> queue{source};
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const net::HostId p = queue[i];
+    for (const net::HostId c : tree.member(p).children) {
+      const double edge_delay = underlay.delay(p, c);
+      overlay_delay[c] = overlay_delay[p] + edge_delay;
+      out.network_usage += edge_delay;
+      for (const net::LinkId l : underlay.path(p, c)) {
+        ++link_count[l];
+        ++traversals;
+      }
+      queue.push_back(c);
+    }
+  }
+
+  for (const net::HostId h : queue) {
+    if (h == source) continue;
+    const double direct = underlay.delay(source, h);
+    const double stretch = direct > 0.0 ? overlay_delay[h] / direct : 1.0;
+    const auto hops = static_cast<double>(tree.depth(h));
+    stretch_all.add(stretch);
+    hops_all.add(hops);
+    if (tree.member(h).children.empty()) {
+      stretch_leaf.add(stretch);
+      hops_leaf.add(hops);
+    }
+  }
+
+  out.links_used = link_count.size();
+  if (!link_count.empty()) {
+    std::size_t max_count = 0;
+    for (const auto& [link, count] : link_count) max_count = std::max(max_count, count);
+    out.stress_avg = static_cast<double>(traversals) / static_cast<double>(link_count.size());
+    out.stress_max = static_cast<double>(max_count);
+  }
+  out.stretch_avg = stretch_all.mean();
+  out.stretch_min = stretch_all.empty() ? 0.0 : stretch_all.min();
+  out.stretch_max = stretch_all.empty() ? 0.0 : stretch_all.max();
+  out.stretch_leaf_avg = stretch_leaf.mean();
+  out.hop_avg = hops_all.mean();
+  out.hop_max = hops_all.empty() ? 0.0 : hops_all.max();
+  out.hop_leaf_avg = hops_leaf.mean();
+  return out;
+}
+
+}  // namespace vdm::metrics

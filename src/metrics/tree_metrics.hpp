@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "net/underlay.hpp"
+#include "overlay/membership.hpp"
+
+namespace vdm::metrics {
+
+/// Structural quality of the overlay tree at one instant — the paper's
+/// §3.6.3 / §5.3 definitions.
+struct TreeMetrics {
+  /// Alive members including the source.
+  std::size_t members = 0;
+
+  /// Stress: identical-packet transmissions per used physical link.
+  /// avg = total traversals / distinct used links (Equation 3.4); 1.0 is
+  /// the IP-multicast optimum.
+  double stress_avg = 0.0;
+  double stress_max = 0.0;
+  std::size_t links_used = 0;
+
+  /// Stretch: overlay source->member delay over direct unicast delay
+  /// (Equation 3.5); 1.0 is the unicast optimum. Leaf-average and max are
+  /// the worst-case views of Figures 5.16/5.23.
+  double stretch_avg = 0.0;
+  double stretch_min = 0.0;
+  double stretch_max = 0.0;
+  double stretch_leaf_avg = 0.0;
+
+  /// Overlay hops from the source (Figures 5.10/5.17/5.24).
+  double hop_avg = 0.0;
+  double hop_max = 0.0;
+  double hop_leaf_avg = 0.0;
+
+  /// Network usage: sum of one-way underlay delays over all tree edges —
+  /// the total "length" of consumed paths (§5.3), the quantity compared
+  /// against the MST.
+  double network_usage = 0.0;
+};
+
+/// Measures the current tree. Members that are mid-reconnection (detached)
+/// are excluded from path metrics, as the paper measures settled trees.
+TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
+                         const net::Underlay& underlay);
+
+}  // namespace vdm::metrics

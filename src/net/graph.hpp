@@ -1,0 +1,78 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace vdm::net {
+
+/// One undirected physical link: propagation delay (one-way, seconds) and a
+/// per-traversal drop probability. Bandwidth is not modeled — the paper's
+/// metrics (stress, stretch, loss, overhead) are delay- and loss-driven, and
+/// degree limits stand in for uplink capacity exactly as in the dissertation.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double delay = 0.0;
+  double loss = 0.0;
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+/// Undirected weighted multigraph used as the physical network.
+///
+/// Storage is struct-of-arrays with a CSR-style adjacency built lazily on
+/// first query, so construction (topology generators appending links) stays
+/// O(1) amortized and routing scans are cache-friendly.
+class Graph {
+ public:
+  /// Adds an isolated vertex and returns its id.
+  NodeId add_node();
+
+  /// Adds `count` vertices; returns the id of the first.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds an undirected link. Requires distinct existing endpoints,
+  /// delay > 0 and loss in [0, 1).
+  LinkId add_link(NodeId a, NodeId b, double delay, double loss = 0.0);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_links() const { return links_.size(); }
+  const Link& link(LinkId id) const { return links_[id]; }
+  Link& mutable_link(LinkId id) { adjacency_dirty_ = true; return links_[id]; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Half-edge as seen from one endpoint.
+  struct Arc {
+    NodeId to;
+    LinkId link;
+    double delay;
+  };
+
+  /// Arcs leaving `n`. Triggers (re)building the CSR index if needed.
+  std::span<const Arc> arcs(NodeId n) const;
+
+  /// Degree of vertex n (number of incident links).
+  std::size_t degree(NodeId n) const { return arcs(n).size(); }
+
+  /// True if the graph is connected (trivially true when empty).
+  bool connected() const;
+
+  /// Monotone counter bumped on every mutation; routing caches use it to
+  /// detect staleness.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  void rebuild_adjacency() const;
+
+  std::size_t num_nodes_ = 0;
+  std::vector<Link> links_;
+  std::uint64_t version_ = 0;
+
+  mutable bool adjacency_dirty_ = true;
+  mutable std::vector<std::size_t> offsets_;  // CSR row starts, size num_nodes_+1
+  mutable std::vector<Arc> arcs_;             // CSR payload, 2 * num_links
+};
+
+}  // namespace vdm::net

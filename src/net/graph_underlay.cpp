@@ -1,0 +1,25 @@
+#include "net/graph_underlay.hpp"
+
+#include "util/require.hpp"
+
+namespace vdm::net {
+
+GraphUnderlay::GraphUnderlay(Graph graph, std::vector<NodeId> hosts)
+    : graph_(std::move(graph)), hosts_(std::move(hosts)), router_(graph_) {
+  VDM_REQUIRE_MSG(!hosts_.empty(), "an underlay needs at least one host");
+  for (const NodeId v : hosts_) VDM_REQUIRE(v < graph_.num_nodes());
+}
+
+sim::Time GraphUnderlay::delay(HostId a, HostId b) const {
+  return router_.delay(hosts_.at(a), hosts_.at(b));
+}
+
+double GraphUnderlay::loss(HostId a, HostId b) const {
+  return router_.path_loss(hosts_.at(a), hosts_.at(b));
+}
+
+std::vector<LinkId> GraphUnderlay::path(HostId a, HostId b) const {
+  return router_.path(hosts_.at(a), hosts_.at(b));
+}
+
+}  // namespace vdm::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/routing.hpp"
+#include "net/underlay.hpp"
+
+namespace vdm::net {
+
+/// Underlay backed by an explicit router graph (transit-stub, Waxman, ...).
+///
+/// Hosts are graph vertices registered via attach_host(); topology
+/// generators create them as leaves hanging off stub routers with access
+/// links, matching how GT-ITM experiments place end systems.
+class GraphUnderlay final : public Underlay {
+ public:
+  /// Takes ownership of the graph. `hosts` maps HostId -> graph vertex.
+  GraphUnderlay(Graph graph, std::vector<NodeId> hosts);
+
+  /// Movable (the router is re-bound to the moved graph); not copyable.
+  GraphUnderlay(GraphUnderlay&& other) noexcept
+      : graph_(std::move(other.graph_)), hosts_(std::move(other.hosts_)),
+        router_(graph_) {}
+  GraphUnderlay& operator=(GraphUnderlay&&) = delete;
+  GraphUnderlay(const GraphUnderlay&) = delete;
+  GraphUnderlay& operator=(const GraphUnderlay&) = delete;
+
+  std::size_t num_hosts() const override { return hosts_.size(); }
+  sim::Time delay(HostId a, HostId b) const override;
+  double loss(HostId a, HostId b) const override;
+  std::vector<LinkId> path(HostId a, HostId b) const override;
+  double link_delay(LinkId link) const override { return graph_.link(link).delay; }
+  std::size_t num_links() const override { return graph_.num_links(); }
+
+  const Graph& graph() const { return graph_; }
+  Graph& mutable_graph() { return graph_; }
+  const Router& router() const { return router_; }
+  NodeId host_vertex(HostId h) const { return hosts_.at(h); }
+
+ private:
+  Graph graph_;
+  std::vector<NodeId> hosts_;
+  Router router_;
+};
+
+}  // namespace vdm::net

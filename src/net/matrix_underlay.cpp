@@ -1,0 +1,56 @@
+#include "net/matrix_underlay.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace vdm::net {
+
+MatrixUnderlay::MatrixUnderlay(std::size_t n, std::vector<double> delay,
+                               std::vector<double> loss)
+    : n_(n), delay_(std::move(delay)), loss_(std::move(loss)) {
+  VDM_REQUIRE(n_ >= 1);
+  VDM_REQUIRE(delay_.size() == n_ * n_);
+  VDM_REQUIRE(loss_.empty() || loss_.size() == n_ * n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    VDM_REQUIRE_MSG(delay_[a * n_ + a] == 0.0, "diagonal must be zero");
+    for (std::size_t b = a + 1; b < n_; ++b) {
+      VDM_REQUIRE_MSG(delay_[a * n_ + b] > 0.0, "off-diagonal delays must be positive");
+      VDM_REQUIRE_MSG(std::abs(delay_[a * n_ + b] - delay_[b * n_ + a]) < 1e-12,
+                      "delay matrix must be symmetric");
+      if (!loss_.empty()) {
+        VDM_REQUIRE(loss_[a * n_ + b] >= 0.0 && loss_[a * n_ + b] < 1.0);
+      }
+    }
+  }
+}
+
+LinkId MatrixUnderlay::pair_link(HostId a, HostId b) const {
+  VDM_REQUIRE(a != b && a < n_ && b < n_);
+  if (a > b) std::swap(a, b);
+  // Row-major index into the strict upper triangle.
+  const std::size_t row_start = static_cast<std::size_t>(a) * n_ - static_cast<std::size_t>(a) * (a + 1) / 2;
+  return static_cast<LinkId>(row_start + (b - a - 1));
+}
+
+std::vector<LinkId> MatrixUnderlay::path(HostId a, HostId b) const {
+  if (a == b) return {};
+  return {pair_link(a, b)};
+}
+
+double MatrixUnderlay::link_delay(LinkId link) const {
+  // Invert pair_link: find the row whose triangle contains `link`.
+  std::size_t remaining = link;
+  for (HostId a = 0; a + 1 < n_; ++a) {
+    const std::size_t row_len = n_ - a - 1;
+    if (remaining < row_len) {
+      const HostId b = static_cast<HostId>(a + 1 + remaining);
+      return delay_[idx(a, b)];
+    }
+    remaining -= row_len;
+  }
+  VDM_REQUIRE_MSG(false, "pseudo-link id out of range");
+  return 0.0;
+}
+
+}  // namespace vdm::net

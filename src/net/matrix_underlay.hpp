@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "net/underlay.hpp"
+
+namespace vdm::net {
+
+/// Underlay given directly as symmetric host-to-host delay and loss
+/// matrices — the PlanetLab-style substrate where only end-to-end paths are
+/// observable. Each unordered host pair is exposed as one pseudo-link, so
+/// "network usage" (sum of used virtual-link latencies, §5.3 of the paper)
+/// falls out of the same accounting as stress does on a router graph.
+class MatrixUnderlay final : public Underlay {
+ public:
+  /// `delay` must be an n*n row-major matrix of one-way delays with a zero
+  /// diagonal and positive symmetric off-diagonal entries. `loss` (same
+  /// shape, probabilities in [0,1)) may be empty for a loss-free network.
+  MatrixUnderlay(std::size_t n, std::vector<double> delay, std::vector<double> loss = {});
+
+  std::size_t num_hosts() const override { return n_; }
+  sim::Time delay(HostId a, HostId b) const override { return delay_[idx(a, b)]; }
+  double loss(HostId a, HostId b) const override {
+    return loss_.empty() ? 0.0 : loss_[idx(a, b)];
+  }
+  std::vector<LinkId> path(HostId a, HostId b) const override;
+  double link_delay(LinkId link) const override;
+  std::size_t num_links() const override { return n_ * (n_ - 1) / 2; }
+
+  /// Pseudo-link id of the unordered pair {a, b}, a != b.
+  LinkId pair_link(HostId a, HostId b) const;
+
+ private:
+  std::size_t idx(HostId a, HostId b) const { return static_cast<std::size_t>(a) * n_ + b; }
+
+  std::size_t n_;
+  std::vector<double> delay_;
+  std::vector<double> loss_;
+};
+
+}  // namespace vdm::net

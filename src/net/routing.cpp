@@ -1,0 +1,89 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace vdm::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const Router::Sssp& Router::tree_for(NodeId src) const {
+  if (cached_version_ != graph_.version()) {
+    cache_.clear();
+    cached_version_ = graph_.version();
+  }
+  const auto it = cache_.find(src);
+  if (it != cache_.end()) return it->second;
+
+  const std::size_t n = graph_.num_nodes();
+  VDM_REQUIRE(src < n);
+  Sssp sssp;
+  sssp.dist.assign(n, kInf);
+  sssp.parent_link.assign(n, kInvalidLink);
+  sssp.parent_node.assign(n, kInvalidNode);
+  sssp.dist[src] = 0.0;
+
+  using QEntry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > sssp.dist[u]) continue;  // stale entry
+    for (const Graph::Arc& arc : graph_.arcs(u)) {
+      const double nd = d + arc.delay;
+      if (nd < sssp.dist[arc.to]) {
+        sssp.dist[arc.to] = nd;
+        sssp.parent_link[arc.to] = arc.link;
+        sssp.parent_node[arc.to] = u;
+        pq.emplace(nd, arc.to);
+      }
+    }
+  }
+  return cache_.emplace(src, std::move(sssp)).first->second;
+}
+
+double Router::delay(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  return tree_for(src).dist[dst];
+}
+
+std::vector<LinkId> Router::path(NodeId src, NodeId dst) const {
+  std::vector<LinkId> links;
+  if (src == dst) return links;
+  const Sssp& sssp = tree_for(src);
+  if (sssp.dist[dst] == kInf) return links;
+  for (NodeId at = dst; at != src; at = sssp.parent_node[at]) {
+    links.push_back(sssp.parent_link[at]);
+  }
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+double Router::path_loss(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  double deliver = 1.0;
+  for (const LinkId id : path(src, dst)) deliver *= 1.0 - graph_.link(id).loss;
+  return 1.0 - deliver;
+}
+
+std::size_t Router::hop_count(NodeId src, NodeId dst) const {
+  if (src == dst) return 0;
+  const Sssp& sssp = tree_for(src);
+  if (sssp.dist[dst] == kInf) return 0;
+  std::size_t hops = 0;
+  for (NodeId at = dst; at != src; at = sssp.parent_node[at]) ++hops;
+  return hops;
+}
+
+void Router::clear_cache() const {
+  cache_.clear();
+  cached_version_ = ~0ull;
+}
+
+}  // namespace vdm::net

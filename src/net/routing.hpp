@@ -1,0 +1,55 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/types.hpp"
+
+namespace vdm::net {
+
+/// Shortest-path (minimum-delay) unicast routing over a Graph — the stand-in
+/// for the Internet's unicast forwarding that application-layer multicast
+/// rides on.
+///
+/// Single-source trees are computed with Dijkstra on demand and memoized per
+/// source. Caches are keyed to Graph::version(), so a mutated graph simply
+/// recomputes. The class is not thread-safe; each experiment seed owns its
+/// own Router (seeds parallelize at a higher level).
+class Router {
+ public:
+  explicit Router(const Graph& graph) : graph_(graph) {}
+
+  /// One-way propagation delay of the shortest path src -> dst, in seconds.
+  /// Infinity if unreachable.
+  double delay(NodeId src, NodeId dst) const;
+
+  /// Links of the shortest path src -> dst, in order from src. Empty for
+  /// src == dst; empty for unreachable pairs (check delay() for infinity).
+  std::vector<LinkId> path(NodeId src, NodeId dst) const;
+
+  /// End-to-end per-packet drop probability along the shortest path:
+  /// 1 - prod(1 - loss_l). Zero for src == dst.
+  double path_loss(NodeId src, NodeId dst) const;
+
+  /// Number of links on the shortest path (IP hop count).
+  std::size_t hop_count(NodeId src, NodeId dst) const;
+
+  /// Drops all memoized shortest-path trees.
+  void clear_cache() const;
+
+ private:
+  struct Sssp {
+    std::vector<double> dist;
+    std::vector<LinkId> parent_link;  // link towards the source
+    std::vector<NodeId> parent_node;
+  };
+
+  const Sssp& tree_for(NodeId src) const;
+
+  const Graph& graph_;
+  mutable std::uint64_t cached_version_ = ~0ull;
+  mutable std::unordered_map<NodeId, Sssp> cache_;
+};
+
+}  // namespace vdm::net

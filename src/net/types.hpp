@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vdm::net {
+
+/// Vertex in the underlay graph (router or end host).
+using NodeId = std::uint32_t;
+/// Physical (or pseudo-) link in the underlay.
+using LinkId = std::uint32_t;
+/// End host participating in the overlay, indexed 0..num_hosts()-1.
+/// Host ids are dense regardless of how the underlay maps them to vertices.
+using HostId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+constexpr HostId kInvalidHost = std::numeric_limits<HostId>::max();
+
+}  // namespace vdm::net

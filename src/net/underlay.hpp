@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace vdm::net {
+
+/// Abstraction of the physical network as the overlay perceives it.
+///
+/// Two implementations exist:
+///  * GraphUnderlay  — hosts attached to a router topology; paths, delays
+///    and losses come from shortest-path routing (the NS-2-style substrate
+///    of the paper's Chapter 3/4 experiments).
+///  * MatrixUnderlay — direct host-to-host latency/loss matrices (the
+///    PlanetLab-style substrate of Chapter 5, where no router map exists
+///    and "network usage" replaces per-link stress).
+///
+/// Overlay code depends only on this interface, so every protocol runs
+/// unchanged on both substrates.
+class Underlay {
+ public:
+  virtual ~Underlay() = default;
+
+  /// Number of end hosts available to the overlay.
+  virtual std::size_t num_hosts() const = 0;
+
+  /// One-way delay between two hosts, seconds. Requires a != b reachable.
+  virtual sim::Time delay(HostId a, HostId b) const = 0;
+
+  /// Round-trip time, the probe measurement VDM/HMTP act on.
+  sim::Time rtt(HostId a, HostId b) const { return 2.0 * delay(a, b); }
+
+  /// End-to-end per-packet drop probability a -> b.
+  virtual double loss(HostId a, HostId b) const = 0;
+
+  /// Physical links traversed a -> b, for stress accounting. A
+  /// MatrixUnderlay reports one pseudo-link per host pair.
+  virtual std::vector<LinkId> path(HostId a, HostId b) const = 0;
+
+  /// One-way delay contributed by a single link (for network-usage sums).
+  virtual double link_delay(LinkId link) const = 0;
+
+  /// Total number of physical (or pseudo-) links.
+  virtual std::size_t num_links() const = 0;
+};
+
+}  // namespace vdm::net

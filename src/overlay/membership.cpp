@@ -1,0 +1,162 @@
+#include "overlay/membership.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+
+void Membership::activate(HostId h, int degree_limit) {
+  MemberState& m = members_.at(h);
+  VDM_REQUIRE_MSG(!m.alive, "activate() on a member that is already alive");
+  VDM_REQUIRE_MSG(degree_limit >= 1, "paper assumes degree limit >= 1");
+  m = MemberState{};
+  m.alive = true;
+  m.degree_limit = degree_limit;
+}
+
+std::vector<HostId> Membership::deactivate(HostId h) {
+  MemberState& m = members_.at(h);
+  VDM_REQUIRE(m.alive);
+  if (m.parent != kInvalidHost) detach(h);
+  std::vector<HostId> orphans = m.children;
+  for (const HostId c : orphans) {
+    MemberState& cm = members_.at(c);
+    cm.parent = kInvalidHost;
+    // The orphan remembers its grandparent: that is where reconnection
+    // starts (§3.3). Do not clear cm.grandparent here.
+  }
+  m.children.clear();
+  m.child_dist.clear();
+  m.alive = false;
+  return orphans;
+}
+
+void Membership::attach(HostId child, HostId parent, double measured_dist,
+                        bool allow_full) {
+  VDM_REQUIRE(child != parent);
+  MemberState& cm = members_.at(child);
+  MemberState& pm = members_.at(parent);
+  VDM_REQUIRE_MSG(cm.alive && pm.alive, "attach endpoints must be alive");
+  VDM_REQUIRE_MSG(cm.parent == kInvalidHost, "child already has a parent");
+  VDM_REQUIRE_MSG(allow_full || pm.has_free_degree(), "parent is at degree limit");
+  VDM_REQUIRE_MSG(!is_ancestor(child, parent),
+                  "attaching under a descendant would create a cycle");
+  VDM_REQUIRE(measured_dist >= 0.0);
+
+  pm.children.push_back(child);
+  pm.child_dist[child] = measured_dist;
+  cm.parent = parent;
+  cm.grandparent = pm.parent;
+  refresh_grandparent_of_children(child);
+}
+
+void Membership::detach(HostId child) {
+  MemberState& cm = members_.at(child);
+  VDM_REQUIRE(cm.parent != kInvalidHost);
+  MemberState& pm = members_.at(cm.parent);
+  const auto it = std::find(pm.children.begin(), pm.children.end(), child);
+  VDM_REQUIRE_MSG(it != pm.children.end(), "parent/child pointers out of sync");
+  pm.children.erase(it);
+  pm.child_dist.erase(child);
+  cm.parent = kInvalidHost;
+  cm.grandparent = kInvalidHost;
+  // Children of `child` now have a detached parent; their grandparent
+  // pointer (towards the old parent) is stale until `child` re-attaches,
+  // exactly as in the protocol, where grandparent updates ride on
+  // (re)connection messages.
+}
+
+void Membership::move_child(HostId child, HostId new_parent, double measured_dist,
+                            bool allow_full) {
+  detach(child);
+  attach(child, new_parent, measured_dist, allow_full);
+}
+
+double Membership::stored_child_distance(HostId parent, HostId child) const {
+  const MemberState& pm = members_.at(parent);
+  const auto it = pm.child_dist.find(child);
+  VDM_REQUIRE_MSG(it != pm.child_dist.end(), "no stored distance for this edge");
+  return it->second;
+}
+
+bool Membership::is_ancestor(HostId ancestor, HostId node) const {
+  for (HostId at = node; at != kInvalidHost; at = members_.at(at).parent) {
+    if (at == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<HostId> Membership::root_path(HostId node) const {
+  std::vector<HostId> path;
+  for (HostId at = members_.at(node).parent; at != kInvalidHost;
+       at = members_.at(at).parent) {
+    path.push_back(at);
+    VDM_REQUIRE_MSG(path.size() <= members_.size(), "cycle in parent pointers");
+  }
+  return path;
+}
+
+std::size_t Membership::depth(HostId node) const {
+  std::size_t d = 0;
+  for (HostId at = node; members_.at(at).parent != kInvalidHost;
+       at = members_.at(at).parent) {
+    ++d;
+    VDM_REQUIRE_MSG(d <= members_.size(), "cycle in parent pointers");
+  }
+  return d;
+}
+
+std::vector<HostId> Membership::alive_members() const {
+  std::vector<HostId> out;
+  for (HostId h = 0; h < members_.size(); ++h) {
+    if (members_[h].alive) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<HostId> Membership::subtree(HostId root) const {
+  std::vector<HostId> out{root};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const MemberState& m = members_.at(out[i]);
+    out.insert(out.end(), m.children.begin(), m.children.end());
+  }
+  return out;
+}
+
+void Membership::refresh_grandparent_of_children(HostId node) {
+  const MemberState& m = members_.at(node);
+  for (const HostId c : m.children) members_.at(c).grandparent = m.parent;
+}
+
+void Membership::validate() const {
+  for (HostId h = 0; h < members_.size(); ++h) {
+    const MemberState& m = members_[h];
+    if (!m.alive) {
+      VDM_REQUIRE_MSG(m.children.empty() && m.parent == kInvalidHost,
+                      "dead member still wired into the tree");
+      continue;
+    }
+    VDM_REQUIRE_MSG(static_cast<int>(m.children.size()) <= m.degree_limit,
+                    "degree limit exceeded");
+    VDM_REQUIRE_MSG(m.child_dist.size() == m.children.size(),
+                    "child distance table out of sync");
+    for (const HostId c : m.children) {
+      VDM_REQUIRE_MSG(members_.at(c).alive, "dead child in children list");
+      VDM_REQUIRE_MSG(members_.at(c).parent == h, "child does not point back");
+      VDM_REQUIRE_MSG(members_.at(c).grandparent == m.parent,
+                      "grandparent pointer stale");
+      VDM_REQUIRE_MSG(m.child_dist.count(c) == 1, "missing stored distance");
+    }
+    if (m.parent != kInvalidHost) {
+      const auto& pc = members_.at(m.parent).children;
+      VDM_REQUIRE_MSG(std::find(pc.begin(), pc.end(), h) != pc.end(),
+                      "parent does not list this child");
+    }
+    // Acyclicity: walking up must terminate.
+    (void)root_path(h);
+  }
+}
+
+}  // namespace vdm::overlay

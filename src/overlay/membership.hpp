@@ -1,0 +1,111 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace vdm::overlay {
+
+using net::HostId;
+using net::kInvalidHost;
+
+/// Per-member overlay state: exactly what a VDM/HMTP peer stores — its
+/// parent, grandparent, children and the measured virtual distance to each
+/// child (§3.2: "Each node has children list and distances to them. They
+/// also know their parent and grandparent.").
+struct MemberState {
+  bool alive = false;
+  /// Maximum number of children this node will feed (uplink capacity).
+  int degree_limit = 0;
+  HostId parent = kInvalidHost;
+  HostId grandparent = kInvalidHost;
+  std::vector<HostId> children;
+  /// Virtual distance to each child, keyed by child id, as measured when
+  /// the child connected (the state a parent reports in info responses).
+  std::unordered_map<HostId, double> child_dist;
+
+  /// When the member (re)gained a working path to the source. Data chunks
+  /// arriving earlier are not deliverable to it (join/reconnect outage).
+  sim::Time receiving_since = 0.0;
+
+  // Data-plane accounting for the loss-rate metric.
+  std::uint64_t chunks_expected = 0;
+  std::uint64_t chunks_received = 0;
+
+  bool has_free_degree() const {
+    return static_cast<int>(children.size()) < degree_limit;
+  }
+  bool is_root() const { return alive && parent == kInvalidHost; }
+};
+
+/// The overlay tree: owns all MemberStates and keeps parent / child /
+/// grandparent pointers mutually consistent through every mutation.
+///
+/// Protocols express their decisions exclusively through attach / detach /
+/// move_child, so structural invariants (single parent, degree bounds,
+/// acyclicity) are enforced in one place and are cheap to audit (validate()).
+class Membership {
+ public:
+  explicit Membership(std::size_t num_hosts) : members_(num_hosts) {}
+
+  std::size_t num_hosts() const { return members_.size(); }
+  const MemberState& member(HostId h) const { return members_.at(h); }
+  MemberState& mutable_member(HostId h) { return members_.at(h); }
+
+  /// Marks `h` alive with the given child capacity; it joins detached.
+  void activate(HostId h, int degree_limit);
+
+  /// Marks `h` dead and detaches it from parent and children. Children are
+  /// left orphaned (parent = invalid) for the protocol to reconnect.
+  /// Returns the orphaned children.
+  std::vector<HostId> deactivate(HostId h);
+
+  /// Connects `child` (alive, currently detached) under `parent` (alive,
+  /// with free degree unless `allow_full`). Records the measured virtual
+  /// distance and refreshes grandparent pointers of `child`'s children.
+  void attach(HostId child, HostId parent, double measured_dist,
+              bool allow_full = false);
+
+  /// Disconnects `child` from its parent (keeps it alive and keeps its own
+  /// subtree intact).
+  void detach(HostId child);
+
+  /// Re-parents `child` from its current parent to `new_parent`
+  /// (the Case II "parent change" message). Equivalent to detach + attach.
+  void move_child(HostId child, HostId new_parent, double measured_dist,
+                  bool allow_full = false);
+
+  /// Distance parent -> child as stored at the parent; requires the edge.
+  double stored_child_distance(HostId parent, HostId child) const;
+
+  /// True if `ancestor` appears on `node`'s root path (or equals it).
+  bool is_ancestor(HostId ancestor, HostId node) const;
+
+  /// Root path of `node` starting at its parent, ending at the tree root.
+  std::vector<HostId> root_path(HostId node) const;
+
+  /// Overlay hop count from `node` up to the root of its fragment (0 for a
+  /// fragment root, including a detached member). Use is_ancestor(source,
+  /// node) to check whether the fragment is the source's tree.
+  std::size_t depth(HostId node) const;
+
+  /// All alive members (connected or not).
+  std::vector<HostId> alive_members() const;
+
+  /// Members reachable from `root` through parent pointers, including root.
+  std::vector<HostId> subtree(HostId root) const;
+
+  /// Throws InvariantError if any structural invariant is violated:
+  /// consistent parent/child pointers, degree bounds, no cycles,
+  /// grandparent pointers correct, distances stored for every edge.
+  void validate() const;
+
+ private:
+  void refresh_grandparent_of_children(HostId node);
+
+  std::vector<MemberState> members_;
+};
+
+}  // namespace vdm::overlay

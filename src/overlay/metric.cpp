@@ -1,0 +1,99 @@
+#include "overlay/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+
+double DelayMetric::measure(const net::Underlay& net, net::HostId a,
+                            net::HostId b, util::Rng& rng) const {
+  double v = net.rtt(a, b);
+  if (noise_frac_ > 0.0) v *= std::max(0.1, rng.normal(1.0, noise_frac_));
+  return v;
+}
+
+double LossMetric::measure(const net::Underlay& net, net::HostId a,
+                           net::HostId b, util::Rng& rng) const {
+  const double p = net.loss(a, b);
+  int lost = 0;
+  for (int i = 0; i < probes_; ++i) {
+    if (rng.chance(p)) ++lost;
+  }
+  // Estimated loss rate, clamped away from 1 so the log stays finite; one
+  // lost probe out of `probes_` is the measurement floor.
+  const double est = std::min(static_cast<double>(lost) / probes_, 0.99);
+  return -std::log(1.0 - est) + delay_tiebreak_ * net.rtt(a, b);
+}
+
+sim::Time LossMetric::measurement_time(const net::Underlay& net, net::HostId a,
+                                       net::HostId b) const {
+  // Probes are pipelined `probe_spacing_` apart; the burst completes one
+  // RTT after the last probe leaves.
+  return probe_spacing_ * (probes_ - 1) + net.rtt(a, b);
+}
+
+CachedMetric::CachedMetric(std::unique_ptr<MetricProvider> inner,
+                           const sim::Simulator& clock, sim::Time ttl)
+    : inner_(std::move(inner)), clock_(clock), ttl_(ttl) {
+  VDM_REQUIRE(inner_ != nullptr);
+  VDM_REQUIRE(ttl_ > 0.0);
+}
+
+std::uint64_t CachedMetric::key(net::HostId a, net::HostId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+double CachedMetric::measure(const net::Underlay& net, net::HostId a,
+                             net::HostId b, util::Rng& rng) const {
+  Cost ignored;
+  return measure_with_cost(net, a, b, rng, ignored);
+}
+
+double CachedMetric::measure_with_cost(const net::Underlay& net, net::HostId a,
+                                       net::HostId b, util::Rng& rng,
+                                       Cost& cost) const {
+  const std::uint64_t k = key(a, b);
+  const auto it = cache_.find(k);
+  if (it != cache_.end() && clock_.now() - it->second.measured_at <= ttl_) {
+    ++hits_;
+    cost = Cost{};  // answered from the local statistics service
+    return it->second.value;
+  }
+  ++misses_;
+  const double v = inner_->measure_with_cost(net, a, b, rng, cost);
+  cache_[k] = Entry{v, clock_.now()};
+  return v;
+}
+
+BlendMetric::BlendMetric(double weight_delay, double weight_loss, int probes,
+                         double probe_spacing)
+    : w_delay_(weight_delay), w_loss_(weight_loss),
+      delay_(0.0), loss_(probes, probe_spacing, 0.0) {
+  VDM_REQUIRE(weight_delay >= 0.0 && weight_loss >= 0.0);
+  VDM_REQUIRE(weight_delay + weight_loss > 0.0);
+}
+
+double BlendMetric::measure(const net::Underlay& net, net::HostId a,
+                            net::HostId b, util::Rng& rng) const {
+  // Normalize delay to "per 100 ms" and loss-length to "per 1 %" so the
+  // weights are unitless knobs of comparable magnitude.
+  const double d = delay_.measure(net, a, b, rng) / 0.100;
+  const double l = loss_.measure(net, a, b, rng) / 0.010;
+  return w_delay_ * d + w_loss_ * l;
+}
+
+int BlendMetric::messages_per_measurement() const {
+  return w_loss_ > 0.0 ? loss_.messages_per_measurement()
+                       : delay_.messages_per_measurement();
+}
+
+sim::Time BlendMetric::measurement_time(const net::Underlay& net, net::HostId a,
+                                        net::HostId b) const {
+  return std::max(delay_.measurement_time(net, a, b),
+                  w_loss_ > 0.0 ? loss_.measurement_time(net, a, b) : 0.0);
+}
+
+}  // namespace vdm::overlay

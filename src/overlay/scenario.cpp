@@ -1,0 +1,160 @@
+#include "overlay/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+
+DegreeSpec DegreeSpec::uniform(int lo, int hi) {
+  VDM_REQUIRE(lo >= 1 && hi >= lo);
+  return DegreeSpec{lo, hi, -1.0};
+}
+
+DegreeSpec DegreeSpec::average(double avg) {
+  VDM_REQUIRE(avg >= 1.0);
+  const int lo = static_cast<int>(std::floor(avg));
+  const int hi = static_cast<int>(std::ceil(avg));
+  if (lo == hi) return DegreeSpec{lo, hi, 0.0};
+  return DegreeSpec{lo, hi, avg - lo};
+}
+
+int DegreeSpec::sample(util::Rng& rng) const {
+  if (p_hi < 0.0) return static_cast<int>(rng.uniform_int(lo, hi));
+  return rng.chance(p_hi) ? hi : lo;
+}
+
+double DegreeSpec::mean() const {
+  if (p_hi < 0.0) return (lo + hi) / 2.0;
+  return lo + p_hi * (hi - lo);
+}
+
+ScenarioDriver::ScenarioDriver(Session& session, const ScenarioParams& params,
+                               util::Rng rng)
+    : session_(session), params_(params), rng_(rng),
+      pending_leave_(session.underlay().num_hosts(), 0) {
+  VDM_REQUIRE(params_.target_members >= 1);
+  VDM_REQUIRE_MSG(params_.target_members < session.underlay().num_hosts(),
+                  "need spare hosts beyond the target membership for churn");
+  VDM_REQUIRE(params_.churn_rate >= 0.0 && params_.churn_rate <= 1.0);
+  VDM_REQUIRE(params_.settle_time < params_.churn_interval);
+  for (net::HostId h = 0; h < session.underlay().num_hosts(); ++h) {
+    if (h != session.source()) available_.push_back(h);
+  }
+}
+
+net::HostId ScenarioDriver::draw_available() {
+  VDM_REQUIRE_MSG(!available_.empty(), "host pool exhausted");
+  const auto i = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(available_.size()) - 1));
+  const net::HostId h = available_[i];
+  available_[i] = available_.back();
+  available_.pop_back();
+  return h;
+}
+
+net::HostId ScenarioDriver::draw_victim() {
+  // Pick an alive member that is not already scheduled to leave this slot.
+  VDM_REQUIRE(!in_overlay_.empty());
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    const auto i = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(in_overlay_.size()) - 1));
+    const net::HostId h = in_overlay_[i];
+    if (!pending_leave_[h]) {
+      pending_leave_[h] = 1;
+      return h;
+    }
+  }
+  return net::kInvalidHost;  // slot churn exceeds membership; give up politely
+}
+
+void ScenarioDriver::do_join(net::HostId h) {
+  session_.join(h, params_.degrees.sample(rng_));
+  in_overlay_.push_back(h);
+}
+
+void ScenarioDriver::do_leave(net::HostId h) {
+  session_.leave(h);
+  pending_leave_[h] = 0;
+  const auto it = std::find(in_overlay_.begin(), in_overlay_.end(), h);
+  VDM_REQUIRE(it != in_overlay_.end());
+  *it = in_overlay_.back();
+  in_overlay_.pop_back();
+  available_.push_back(h);
+}
+
+void ScenarioDriver::schedule_initial_joins() {
+  sim::Simulator& sim = session_.simulator();
+  for (std::size_t i = 0; i < params_.target_members; ++i) {
+    const net::HostId h = draw_available();
+    // Small positive floor keeps the source's activation strictly first.
+    const sim::Time t = rng_.uniform(0.001, std::max(0.002, params_.join_phase));
+    sim.schedule_at(t, [this, h] { do_join(h); });
+  }
+}
+
+void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
+  sim::Simulator& sim = session_.simulator();
+  const std::size_t churn_count = static_cast<std::size_t>(
+      std::llround(params_.churn_rate * static_cast<double>(params_.target_members)));
+
+  // Measurement after the join phase settles, before any churn.
+  sim.schedule_at(params_.join_phase + params_.settle_time,
+                  [this, &on_measure] { on_measure(session_.simulator().now()); });
+
+  const sim::Time first_slot = params_.join_phase + params_.settle_time;
+  for (sim::Time slot = first_slot; slot + params_.churn_interval <= params_.total_time;
+       slot += params_.churn_interval) {
+    const sim::Time active_span = params_.churn_interval - params_.settle_time;
+    // Decide victims at slot start (so they are alive then); spread the
+    // leave/join actions over the active part of the slot.
+    sim.schedule_at(slot, [this, churn_count, active_span] {
+      sim::Simulator& s = session_.simulator();
+      for (std::size_t i = 0; i < churn_count; ++i) {
+        const net::HostId victim = draw_victim();
+        if (victim != net::kInvalidHost) {
+          s.schedule_in(rng_.uniform(0.0, active_span), [this, victim] { do_leave(victim); });
+        }
+        const net::HostId joiner = draw_available();
+        s.schedule_in(rng_.uniform(0.0, active_span), [this, joiner] { do_join(joiner); });
+      }
+    });
+    sim.schedule_at(slot + params_.churn_interval,
+                    [this, &on_measure] { on_measure(session_.simulator().now()); });
+  }
+}
+
+void ScenarioDriver::schedule_batched_joins(const MeasureFn& on_measure) {
+  sim::Simulator& sim = session_.simulator();
+  std::size_t scheduled = 0;
+  sim::Time slot = 0.0;
+  while (scheduled < params_.target_members) {
+    const std::size_t batch =
+        std::min(params_.batch_size, params_.target_members - scheduled);
+    const sim::Time active_span = params_.churn_interval - params_.settle_time;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const net::HostId h = draw_available();
+      sim.schedule_at(slot + rng_.uniform(0.001, active_span), [this, h] { do_join(h); });
+    }
+    sim.schedule_at(slot + params_.churn_interval,
+                    [this, &on_measure] { on_measure(session_.simulator().now()); });
+    scheduled += batch;
+    slot += params_.churn_interval;
+  }
+}
+
+void ScenarioDriver::run(const MeasureFn& on_measure) {
+  VDM_REQUIRE(on_measure != nullptr);
+  session_.start();
+  if (params_.batched_joins) {
+    schedule_batched_joins(on_measure);
+  } else {
+    schedule_initial_joins();
+    schedule_churn_slots(on_measure);
+  }
+  session_.simulator().run_until(params_.total_time);
+  session_.stop();
+}
+
+}  // namespace vdm::overlay

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "overlay/session.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::overlay {
+
+/// How child-capacity (degree) limits are assigned to joining members.
+struct DegreeSpec {
+  int lo = 2;
+  int hi = 5;
+  /// Probability of drawing `hi` when realizing a fractional average.
+  double p_hi = -1.0;  // < 0 means plain uniform over [lo, hi]
+
+  /// Uniform integer limits in [lo, hi] — the paper's Chapter-3 default
+  /// ("degree limits of nodes ranges from 2 to 5").
+  static DegreeSpec uniform(int lo, int hi);
+
+  /// Mixture of floor/ceil realizing an exact fractional mean, e.g. the
+  /// 1.25 / 1.5 / 1.75 points of the node-degree sweeps (Figs 3.33-3.36).
+  static DegreeSpec average(double avg);
+
+  int sample(util::Rng& rng) const;
+  double mean() const;
+};
+
+/// Parameters of the paper's experiment timeline (§3.6.2): a staggered join
+/// phase, then repeated churn slots, each ending with a settle period and a
+/// measurement point.
+struct ScenarioParams {
+  /// Members besides the source kept in the overlay.
+  std::size_t target_members = 200;
+  sim::Time join_phase = 2000.0;
+  sim::Time total_time = 10000.0;
+  sim::Time churn_interval = 400.0;
+  /// Fraction of target_members replaced (leave + join) per interval.
+  double churn_rate = 0.05;
+  /// Quiet period before each measurement.
+  sim::Time settle_time = 100.0;
+  DegreeSpec degrees = DegreeSpec::uniform(2, 5);
+
+  /// Chapter-4 mode: instead of churn slots, `batch_size` nodes join per
+  /// interval (measuring after each batch) until target_members is reached.
+  bool batched_joins = false;
+  std::size_t batch_size = 50;
+};
+
+/// Orchestrates a full experiment run on one Session: schedules joins,
+/// leaves and measurement callbacks on the simulator and executes it.
+///
+/// Host pool: the driver draws members from all underlay hosts except the
+/// source, keeping `target_members` alive in steady state; churn victims
+/// return to the pool and may rejoin later, as in the paper ("some nodes
+/// may join and leave several times while some never join").
+class ScenarioDriver {
+ public:
+  ScenarioDriver(Session& session, const ScenarioParams& params, util::Rng rng);
+
+  /// Measurement callback: invoked at each measurement point (settled tree).
+  using MeasureFn = std::function<void(sim::Time)>;
+
+  /// Runs the whole scenario to total_time. Calls `on_measure` at every
+  /// measurement point (never during churn or settling).
+  void run(const MeasureFn& on_measure);
+
+  /// Hosts currently alive in the overlay (excluding the source).
+  std::size_t members_alive() const { return in_overlay_.size(); }
+
+ private:
+  void schedule_initial_joins();
+  void schedule_churn_slots(const MeasureFn& on_measure);
+  void schedule_batched_joins(const MeasureFn& on_measure);
+  void do_join(net::HostId h);
+  void do_leave(net::HostId h);
+  net::HostId draw_available();
+  net::HostId draw_victim();
+
+  Session& session_;
+  ScenarioParams params_;
+  util::Rng rng_;
+
+  std::vector<net::HostId> available_;   // not in overlay, not pending join
+  std::vector<net::HostId> in_overlay_;  // alive members (excl. source)
+  std::vector<char> pending_leave_;      // indexed by host
+};
+
+}  // namespace vdm::overlay

@@ -1,0 +1,236 @@
+#include "overlay/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+
+OpStats Protocol::execute_refine(Session&, net::HostId) { return {}; }
+
+Session::Session(sim::Simulator& simulator, const net::Underlay& underlay,
+                 Protocol& protocol, const MetricProvider& metric,
+                 const SessionParams& params, util::Rng rng)
+    : sim_(simulator), underlay_(underlay), protocol_(protocol), metric_(metric),
+      params_(params), rng_(rng), tree_(underlay.num_hosts()),
+      in_session_since_(underlay.num_hosts(), 0.0) {
+  VDM_REQUIRE(params_.source < underlay.num_hosts());
+  VDM_REQUIRE(params_.chunk_rate > 0.0);
+}
+
+Session::~Session() { stop(); }
+
+void Session::start() {
+  VDM_REQUIRE_MSG(!started_, "start() called twice");
+  started_ = true;
+  tree_.activate(params_.source, params_.source_degree_limit);
+  in_session_since_[params_.source] = sim_.now();
+  if (params_.data_plane) {
+    stream_timer_ = std::make_unique<sim::Periodic>(
+        sim_, 1.0 / params_.chunk_rate, [this] { emit_chunk(); });
+  }
+}
+
+void Session::stop() {
+  stream_timer_.reset();
+  refine_timers_.clear();
+}
+
+TimingRecord Session::join(net::HostId h, int degree_limit) {
+  VDM_REQUIRE(started_);
+  VDM_REQUIRE_MSG(h != params_.source, "the source does not join");
+  tree_.activate(h, degree_limit);
+  const TimingRecord rec = run_join(h, params_.source, /*is_reconnect=*/false);
+  in_session_since_[h] = sim_.now() + rec.duration;
+  if (protocol_.wants_refinement()) arm_refinement(h);
+  if (params_.paranoid_checks) tree_.validate();
+  return rec;
+}
+
+TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconnect) {
+  OpStats stats = protocol_.execute_join(*this, h, start);
+  VDM_REQUIRE_MSG(tree_.member(h).parent != kInvalidHost,
+                  "protocol join must attach the node");
+  window_.control_messages += stats.messages;
+  totals_.control_messages += stats.messages;
+
+  TimingRecord rec;
+  rec.at = sim_.now();
+  rec.host = h;
+  rec.duration = stats.elapsed;
+  rec.messages = stats.messages;
+  rec.iterations = stats.iterations;
+
+  // The node (and transitively its subtree, which the data plane blocks
+  // through this node) starts receiving once the join handshake finishes.
+  tree_.mutable_member(h).receiving_since = sim_.now() + stats.elapsed;
+
+  if (is_reconnect) {
+    reconnect_records_.push_back(rec);
+    ++window_.reconnects_completed;
+    ++totals_.reconnects_completed;
+  } else {
+    startup_records_.push_back(rec);
+    ++window_.joins_completed;
+    ++totals_.joins_completed;
+  }
+  // No validate() here: during a multi-orphan leave, siblings of this
+  // orphan are still detached with (legitimately) stale pointers. The
+  // callers validate at the end of the whole operation.
+  return rec;
+}
+
+void Session::leave(net::HostId h) {
+  VDM_REQUIRE(started_);
+  VDM_REQUIRE_MSG(h != params_.source, "the source never leaves");
+  const MemberState& m = tree_.member(h);
+  VDM_REQUIRE(m.alive);
+
+  // Graceful leave: one notice per child plus one to the parent (§3.3).
+  OpStats notice;
+  charge_notification(static_cast<int>(m.children.size()) +
+                          (m.parent != kInvalidHost ? 1 : 0),
+                      notice);
+  window_.control_messages += notice.messages;
+  totals_.control_messages += notice.messages;
+
+  disarm_refinement(h);
+  const std::vector<net::HostId> orphans = tree_.deactivate(h);
+
+  // Each orphan reconnects on its own, starting at its grandparent if that
+  // node is still alive, else at the source (§3.3). Orphans act in child
+  // order — deterministic, and equivalent to near-simultaneous recovery.
+  for (const net::HostId orphan : orphans) {
+    const MemberState& om = tree_.member(orphan);
+    net::HostId start = om.grandparent;
+    if (start == kInvalidHost || !tree_.member(start).alive ||
+        !eligible_parent(orphan, start)) {
+      start = params_.source;
+    }
+    run_join(orphan, start, /*is_reconnect=*/true);
+  }
+  if (params_.paranoid_checks) tree_.validate();
+}
+
+OpStats Session::refine(net::HostId h) {
+  const MemberState& m = tree_.member(h);
+  if (!m.alive || m.parent == kInvalidHost) return {};
+  OpStats stats = protocol_.execute_refine(*this, h);
+  window_.control_messages += stats.messages;
+  totals_.control_messages += stats.messages;
+  ++window_.refines_run;
+  ++totals_.refines_run;
+  if (stats.parent_changed) {
+    ++window_.refine_switches;
+    ++totals_.refine_switches;
+  }
+  if (params_.paranoid_checks) tree_.validate();
+  return stats;
+}
+
+double Session::measure(net::HostId from, net::HostId to, OpStats& stats) {
+  MetricProvider::Cost cost;
+  const double v = metric_.measure_with_cost(underlay_, from, to, rng_, cost);
+  stats.messages += cost.messages;
+  stats.elapsed += cost.elapsed;
+  return v;
+}
+
+std::vector<double> Session::measure_parallel(net::HostId from,
+                                              std::span<const net::HostId> targets,
+                                              OpStats& stats) {
+  std::vector<double> out;
+  out.reserve(targets.size());
+  sim::Time slowest = 0.0;
+  for (const net::HostId t : targets) {
+    MetricProvider::Cost cost;
+    out.push_back(metric_.measure_with_cost(underlay_, from, t, rng_, cost));
+    stats.messages += cost.messages;
+    slowest = std::max(slowest, cost.elapsed);
+  }
+  stats.elapsed += slowest;
+  return out;
+}
+
+void Session::charge_exchange(net::HostId from, net::HostId with, OpStats& stats) {
+  stats.messages += 2;
+  stats.elapsed += underlay_.rtt(from, with);
+}
+
+void Session::charge_notification(int count, OpStats& stats) {
+  stats.messages += count;
+}
+
+bool Session::eligible_parent(net::HostId joiner, net::HostId candidate) const {
+  if (candidate == joiner) return false;
+  if (!tree_.member(candidate).alive) return false;
+  return !tree_.is_ancestor(joiner, candidate);
+}
+
+void Session::arm_refinement(net::HostId h) {
+  refine_timers_[h] = std::make_unique<sim::Periodic>(
+      sim_, protocol_.refinement_period(), [this, h] { refine(h); });
+}
+
+void Session::disarm_refinement(net::HostId h) { refine_timers_.erase(h); }
+
+void Session::reset_window() { window_ = Counters{}; }
+
+std::vector<TimingRecord> Session::take_startup_records() {
+  return std::exchange(startup_records_, {});
+}
+
+std::vector<TimingRecord> Session::take_reconnect_records() {
+  return std::exchange(reconnect_records_, {});
+}
+
+void Session::emit_chunk() {
+  ++window_.chunks_emitted;
+  ++totals_.chunks_emitted;
+  const sim::Time now = sim_.now();
+
+  // Flood the chunk down the tree. A node is *expected* to see the chunk
+  // once it has completed its initial join; it actually *receives* it only
+  // if it is not inside a reconnection outage, its parent received it, and
+  // the overlay-path loss draw succeeds. Descendants of an outaged node
+  // therefore miss chunks too — exactly the churn loss the paper measures.
+  struct Frame {
+    net::HostId host;
+    bool delivered;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({params_.source, true});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    for (const net::HostId c : tree_.member(f.host).children) {
+      bool delivered = false;
+      if (f.delivered) {
+        ++window_.data_transmissions;
+        ++totals_.data_transmissions;
+        const MemberState& cm = tree_.member(c);
+        // A playout buffer forgives outages that end within buffer_seconds:
+        // the chunk is recovered from the new parent before playback needs
+        // it, so the viewer never sees the gap.
+        if (now + params_.buffer_seconds >= cm.receiving_since) {
+          delivered = !rng_.chance(underlay_.loss(f.host, c));
+        }
+      }
+      MemberState& cm = tree_.mutable_member(c);
+      if (now >= in_session_since_[c]) {
+        ++cm.chunks_expected;
+        ++window_.chunks_expected;
+        ++totals_.chunks_expected;
+        if (delivered) {
+          ++cm.chunks_received;
+          ++window_.chunks_delivered;
+          ++totals_.chunks_delivered;
+        }
+      }
+      stack.push_back({c, delivered});
+    }
+  }
+}
+
+}  // namespace vdm::overlay

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/underlay.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/metric.hpp"
+#include "overlay/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::overlay {
+
+/// Tunables of one multicast session.
+struct SessionParams {
+  net::HostId source = 0;
+  int source_degree_limit = 5;
+  /// Data chunks emitted per second at the source (the PlanetLab deployment
+  /// used 10/s; simulations may lower this to cut event counts — loss is a
+  /// rate, so the statistic is unchanged).
+  double chunk_rate = 2.0;
+  /// Disable to run control-plane-only experiments (no loss metric).
+  bool data_plane = true;
+  /// Playout buffer depth, seconds. Reconnection outages shorter than the
+  /// buffer are absorbed (the paper's §5.4.3 observation that "a couple of
+  /// seconds buffer" hides the ~0.2 s reconnection jitter). 0 = no buffer.
+  double buffer_seconds = 0.0;
+  /// Validate all tree invariants after every mutation batch (tests).
+  bool paranoid_checks = false;
+};
+
+/// Record of one completed join or reconnection.
+struct TimingRecord {
+  sim::Time at = 0.0;       // when the operation started
+  net::HostId host = net::kInvalidHost;
+  sim::Time duration = 0.0; // startup / reconnection time
+  int messages = 0;
+  int iterations = 0;
+};
+
+/// One live multicast session: the source, the member tree, the control
+/// plane (joins, graceful leaves, orphan reconnection, refinement timers)
+/// and the data plane (periodic chunks flooding down the tree with per-path
+/// loss sampling).
+///
+/// The session is the single mutation point of the overlay; protocols are
+/// strategy objects invoked from here. All randomness flows through the
+/// session's Rng, so a (seed, scenario) pair reproduces a run exactly.
+class Session {
+ public:
+  Session(sim::Simulator& simulator, const net::Underlay& underlay,
+          Protocol& protocol, const MetricProvider& metric,
+          const SessionParams& params, util::Rng rng);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Activates the source and starts the data stream. Call once, first.
+  void start();
+
+  /// Stops the data stream and all refinement timers (end of experiment).
+  void stop();
+
+  /// Runs the protocol join for host `h` right now. Returns the timing
+  /// record (also retained internally for the metrics collector).
+  TimingRecord join(net::HostId h, int degree_limit);
+
+  /// Graceful leave: notifies children and parent, detaches `h`, and
+  /// reconnects every orphan (grandparent first, source as fallback).
+  void leave(net::HostId h);
+
+  /// One immediate refinement round for host `h` (also runs on timers).
+  OpStats refine(net::HostId h);
+
+  // --- primitives used by protocols -------------------------------------
+
+  /// Virtual-distance measurement `from` -> `to`; charges messages and time.
+  double measure(net::HostId from, net::HostId to, OpStats& stats);
+
+  /// Measures `from` -> each target concurrently (the paper's "N pings S
+  /// and all children"): message costs add, wall-clock is the slowest probe.
+  std::vector<double> measure_parallel(net::HostId from,
+                                       std::span<const net::HostId> targets,
+                                       OpStats& stats);
+
+  /// A request/response exchange with `with` (info request, connection
+  /// request): 2 messages, one RTT of elapsed time.
+  void charge_exchange(net::HostId from, net::HostId with, OpStats& stats);
+
+  /// One-way notifications (parent change, grandparent change, leave
+  /// notice): `count` messages, no added wait.
+  void charge_notification(int count, OpStats& stats);
+
+  /// True if `candidate` may serve as (transitive) parent of `joiner`:
+  /// alive, not the joiner, and not in the joiner's own subtree.
+  bool eligible_parent(net::HostId joiner, net::HostId candidate) const;
+
+  // --- accessors ---------------------------------------------------------
+  Membership& tree() { return tree_; }
+  const Membership& tree() const { return tree_; }
+  const net::Underlay& underlay() const { return underlay_; }
+  const MetricProvider& metric() const { return metric_; }
+  net::HostId source() const { return params_.source; }
+  util::Rng& rng() { return rng_; }
+  sim::Simulator& simulator() { return sim_; }
+  Protocol& protocol() { return protocol_; }
+
+  // --- counters for the metrics layer ------------------------------------
+  struct Counters {
+    std::uint64_t control_messages = 0;
+    /// Chunk transmissions over overlay edges (each hop of each chunk).
+    std::uint64_t data_transmissions = 0;
+    /// Chunks emitted at the source.
+    std::uint64_t chunks_emitted = 0;
+    /// Sum over members of chunks they should have seen / actually saw;
+    /// 1 - delivered/expected is the network-wide loss rate of the window.
+    std::uint64_t chunks_expected = 0;
+    std::uint64_t chunks_delivered = 0;
+    std::uint64_t joins_completed = 0;
+    std::uint64_t reconnects_completed = 0;
+    std::uint64_t refines_run = 0;
+    std::uint64_t refine_switches = 0;
+  };
+  /// Counters since the last reset_window() (per-epoch metrics).
+  const Counters& window() const { return window_; }
+  /// Counters since start() (whole-run metrics).
+  const Counters& totals() const { return totals_; }
+  void reset_window();
+
+  /// Startup / reconnection records accumulated since the last take.
+  std::vector<TimingRecord> take_startup_records();
+  std::vector<TimingRecord> take_reconnect_records();
+
+ private:
+  TimingRecord run_join(net::HostId h, net::HostId start, bool is_reconnect);
+  void arm_refinement(net::HostId h);
+  void disarm_refinement(net::HostId h);
+  void emit_chunk();
+
+  sim::Simulator& sim_;
+  const net::Underlay& underlay_;
+  Protocol& protocol_;
+  const MetricProvider& metric_;
+  SessionParams params_;
+  util::Rng rng_;
+  Membership tree_;
+
+  /// When each member first completed its initial join of the current
+  /// stint (chunks are "expected" from this point; see loss metric).
+  std::vector<sim::Time> in_session_since_;
+
+  std::unique_ptr<sim::Periodic> stream_timer_;
+  std::unordered_map<net::HostId, std::unique_ptr<sim::Periodic>> refine_timers_;
+
+  Counters window_;
+  Counters totals_;
+  std::vector<TimingRecord> startup_records_;
+  std::vector<TimingRecord> reconnect_records_;
+  bool started_ = false;
+};
+
+}  // namespace vdm::overlay

@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace vdm::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  VDM_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  VDM_REQUIRE(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  VDM_REQUIRE_MSG(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+void Simulator::pop_and_run(const Entry& e) {
+  now_ = e.t;
+  auto node = callbacks_.extract(e.id);
+  heap_.pop();
+  ++executed_;
+  // Run after popping so the callback can schedule/cancel freely.
+  node.mapped()();
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    if (cancelled_.erase(e.id)) {
+      heap_.pop();
+      continue;
+    }
+    pop_and_run(e);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time t) {
+  VDM_REQUIRE(t >= now_);
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    if (e.t > t) break;
+    if (cancelled_.erase(e.id)) {
+      heap_.pop();
+      continue;
+    }
+    pop_and_run(e);
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+Periodic::Periodic(Simulator& simulator, Time interval, std::function<void()> fn)
+    : sim_(simulator), interval_(interval), fn_(std::move(fn)) {
+  VDM_REQUIRE(interval_ > 0.0);
+  VDM_REQUIRE(fn_ != nullptr);
+  arm();
+}
+
+Periodic::~Periodic() { stop(); }
+
+void Periodic::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != kInvalidEvent) sim_.cancel(pending_);
+  pending_ = kInvalidEvent;
+}
+
+void Periodic::arm() {
+  pending_ = sim_.schedule_in(interval_, [this] {
+    pending_ = kInvalidEvent;
+    if (!running_) return;
+    fn_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace vdm::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vdm::sim {
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+/// Single-threaded discrete-event simulator.
+///
+/// The heart of the reproduction: every protocol message, probe, data chunk,
+/// churn action and refinement timer is an event on this queue. Events at
+/// equal timestamps execute in scheduling order (stable sequence-number
+/// tie-break), which keeps whole experiments bit-deterministic per seed —
+/// parallelism lives one level up, across independent seeds.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellable id.
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) seconds.
+  EventId schedule_in(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event; a no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Executes the earliest pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains (or `max_events` fire). Returns events run.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  std::size_t run_until(Time t);
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction (for micro-benchmarks).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    EventId id;
+    // Ordered as a min-heap: earliest time first, FIFO within a timestamp.
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;
+    }
+  };
+
+  void pop_and_run(const Entry& e);
+
+  Time now_ = kTimeZero;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Callback storage decoupled from the heap so cancels don't touch the heap.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+/// RAII periodic timer: runs `fn` every `interval` seconds starting at
+/// now + interval, until destroyed or stop()ped. Protocol refinement and
+/// stream sending use this.
+class Periodic {
+ public:
+  Periodic(Simulator& simulator, Time interval, std::function<void()> fn);
+  ~Periodic();
+  Periodic(const Periodic&) = delete;
+  Periodic& operator=(const Periodic&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  Time interval_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = true;
+};
+
+}  // namespace vdm::sim

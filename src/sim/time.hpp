@@ -1,0 +1,16 @@
+#pragma once
+
+namespace vdm::sim {
+
+/// Simulated time in seconds. Double precision gives sub-microsecond
+/// resolution across the paper's 10 000 s sessions.
+using Time = double;
+
+/// Convenience unit helpers so call sites read like the paper's parameters.
+constexpr Time milliseconds(double ms) { return ms / 1000.0; }
+constexpr Time seconds(double s) { return s; }
+constexpr Time minutes(double m) { return m * 60.0; }
+
+constexpr Time kTimeZero = 0.0;
+
+}  // namespace vdm::sim

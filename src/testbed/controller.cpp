@@ -1,0 +1,95 @@
+#include "testbed/controller.hpp"
+
+#include <algorithm>
+
+#include "baselines/mst_overlay.hpp"
+#include "util/require.hpp"
+
+namespace vdm::testbed {
+
+FlakyMetric::FlakyMetric(std::unique_ptr<overlay::MetricProvider> inner,
+                         std::vector<double> slowness, double noise_frac)
+    : inner_(std::move(inner)), slowness_(std::move(slowness)),
+      noise_frac_(noise_frac) {
+  VDM_REQUIRE(inner_ != nullptr);
+}
+
+double FlakyMetric::measure(const net::Underlay& net, net::HostId a,
+                            net::HostId b, util::Rng& rng) const {
+  double v = inner_->measure(net, a, b, rng);
+  if (noise_frac_ > 0.0) v *= std::max(0.1, rng.normal(1.0, noise_frac_));
+  return v;
+}
+
+sim::Time FlakyMetric::measurement_time(const net::Underlay& net, net::HostId a,
+                                        net::HostId b) const {
+  const double slow = b < slowness_.size() ? slowness_[b] : 1.0;
+  return inner_->measurement_time(net, a, b) * slow;
+}
+
+MainController::MainController(sim::Simulator& simulator,
+                               const net::Underlay& underlay,
+                               overlay::Protocol& protocol,
+                               const overlay::MetricProvider& metric,
+                               const ControllerParams& params, util::Rng rng)
+    : sim_(simulator), underlay_(underlay), params_(params) {
+  overlay::SessionParams sp;
+  sp.source = params.source;
+  sp.source_degree_limit = params.source_degree;
+  sp.chunk_rate = params.chunk_rate;
+  session_ = std::make_unique<overlay::Session>(simulator, underlay, protocol,
+                                                metric, sp, rng);
+  collector_ = std::make_unique<metrics::Collector>(*session_);
+}
+
+SessionReport MainController::run(const Scenario& scenario) {
+  VDM_REQUIRE_MSG(!scenario.events.empty(), "scenario has no events");
+  session_->start();
+
+  for (const ScenarioEvent& e : scenario.events) {
+    switch (e.action) {
+      case ScenarioEvent::Action::kJoin:
+        sim_.schedule_at(e.at, [this, e] { session_->join(e.node, e.degree_limit); });
+        break;
+      case ScenarioEvent::Action::kLeave:
+        sim_.schedule_at(e.at, [this, e] { session_->leave(e.node); });
+        break;
+      case ScenarioEvent::Action::kTerminate:
+        break;  // implicit: run_until(end_time)
+    }
+  }
+  // Periodic snapshots, then a final one exactly at terminate.
+  for (sim::Time t = params_.measure_interval; t < scenario.end_time;
+       t += params_.measure_interval) {
+    sim_.schedule_at(t, [this] { collector_->capture(sim_.now()); });
+  }
+  sim_.run_until(scenario.end_time);
+  collector_->capture(sim_.now());
+  session_->stop();
+
+  SessionReport report;
+  report.epochs = collector_->samples();
+  report.final_tree =
+      metrics::measure_tree(session_->tree(), session_->source(), underlay_);
+  report.startup_times = collector_->all_startup_times();
+  report.reconnect_times = collector_->all_reconnect_times();
+  report.totals = session_->totals();
+  if (report.totals.chunks_expected > 0) {
+    report.loss_rate = 1.0 - static_cast<double>(report.totals.chunks_delivered) /
+                                 static_cast<double>(report.totals.chunks_expected);
+  }
+  if (report.totals.data_transmissions > 0) {
+    report.overhead = static_cast<double>(report.totals.control_messages) /
+                      static_cast<double>(report.totals.data_transmissions);
+  }
+  if (report.totals.chunks_emitted > 0) {
+    report.overhead_per_chunk =
+        static_cast<double>(report.totals.control_messages) /
+        static_cast<double>(report.totals.chunks_emitted);
+  }
+  report.mst_ratio =
+      baselines::mst_ratio(session_->tree(), session_->source(), underlay_);
+  return report;
+}
+
+}  // namespace vdm::testbed

@@ -1,0 +1,73 @@
+#include "testbed/dot_export.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "testbed/report.hpp"
+#include "util/table.hpp"
+
+namespace vdm::testbed {
+
+namespace {
+
+/// Deterministic pastel fill per region index (cycled).
+const char* region_color(std::size_t region) {
+  static const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                                   "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+                                   "#e31a1c", "#ff7f00", "#6a3d9a", "#b15928"};
+  return kPalette[region % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+void write_dot_impl(const overlay::Membership& tree, net::HostId source,
+                    const net::Underlay& underlay, const topo::GeoTopology* geo,
+                    std::ostream& os, const DotOptions& options) {
+  os << "digraph " << options.name << " {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=ellipse, style=filled, fillcolor=white];\n";
+
+  std::vector<net::HostId> queue{source};
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const net::HostId h = queue[i];
+    os << "  n" << h << " [label=\"" << h;
+    if (geo != nullptr) {
+      os << "\\n" << geo->region_names.at(geo->hosts.at(h).region);
+    }
+    os << '"';
+    if (h == source) {
+      os << ", shape=doublecircle, fillcolor=\"#fdd835\"";
+    } else if (geo != nullptr && options.color_regions) {
+      os << ", fillcolor=\"" << region_color(geo->hosts.at(h).region) << '"';
+    }
+    os << "];\n";
+    for (const net::HostId c : tree.member(h).children) {
+      queue.push_back(c);
+    }
+  }
+  for (const net::HostId h : queue) {
+    for (const net::HostId c : tree.member(h).children) {
+      os << "  n" << h << " -> n" << c;
+      if (options.edge_delays) {
+        os << " [label=\"" << util::Table::fmt(1000.0 * underlay.delay(h, c), 1)
+           << "ms\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+void write_dot(const overlay::Membership& tree, net::HostId source,
+               const net::Underlay& underlay, std::ostream& os,
+               const DotOptions& options) {
+  write_dot_impl(tree, source, underlay, nullptr, os, options);
+}
+
+void write_dot(const overlay::Membership& tree, net::HostId source,
+               const topo::GeoTopology& geo, std::ostream& os,
+               const DotOptions& options) {
+  write_dot_impl(tree, source, geo.underlay, &geo, os, options);
+}
+
+}  // namespace vdm::testbed

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/underlay.hpp"
+#include "overlay/membership.hpp"
+#include "topology/geo.hpp"
+
+namespace vdm::testbed {
+
+/// Options for Graphviz export of an overlay tree.
+struct DotOptions {
+  /// Graph name in the DOT header.
+  std::string name = "vdm_overlay";
+  /// Annotate edges with the one-way underlay delay in ms.
+  bool edge_delays = true;
+  /// Color nodes by region (requires a GeoTopology) so the continental
+  /// clustering of Figures 5.5/5.6 is visible at a glance.
+  bool color_regions = true;
+};
+
+/// Writes the overlay tree rooted at `source` as a Graphviz digraph —
+/// `dot -Tsvg tree.dot -o tree.svg` renders the paper's sample-tree
+/// figures from any run.
+void write_dot(const overlay::Membership& tree, net::HostId source,
+               const net::Underlay& underlay, std::ostream& os,
+               const DotOptions& options = {});
+
+/// Same, with per-node region labels/colors from a geo deployment.
+void write_dot(const overlay::Membership& tree, net::HostId source,
+               const topo::GeoTopology& geo, std::ostream& os,
+               const DotOptions& options = {});
+
+}  // namespace vdm::testbed

@@ -1,0 +1,66 @@
+#include "testbed/report.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace vdm::testbed {
+
+std::string continent_of(const std::string& region_name) {
+  const auto dash = region_name.find('-');
+  return dash == std::string::npos ? region_name : region_name.substr(0, dash);
+}
+
+ClusterStats cluster_stats(const overlay::Membership& tree, net::HostId source,
+                           const topo::GeoTopology& geo) {
+  ClusterStats stats;
+  std::vector<net::HostId> queue{source};
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const net::HostId p = queue[i];
+    for (const net::HostId c : tree.member(p).children) {
+      ++stats.edges;
+      const std::size_t rp = geo.hosts.at(p).region;
+      const std::size_t rc = geo.hosts.at(c).region;
+      if (rp == rc) {
+        ++stats.intra_region;
+        ++stats.intra_continent;
+      } else if (continent_of(geo.region_names.at(rp)) ==
+                 continent_of(geo.region_names.at(rc))) {
+        ++stats.intra_continent;
+      } else {
+        ++stats.cross_continent;
+      }
+      queue.push_back(c);
+    }
+  }
+  return stats;
+}
+
+namespace {
+void render_node(const overlay::Membership& tree, const topo::GeoTopology& geo,
+                 net::HostId node, const std::string& prefix, bool last,
+                 bool is_root, std::ostringstream& os) {
+  os << prefix;
+  if (!is_root) os << (last ? "`-- " : "|-- ");
+  os << "node " << node << " [" << geo.region_names.at(geo.hosts.at(node).region)
+     << ']';
+  if (is_root) os << " (source)";
+  os << '\n';
+  const auto& children = tree.member(node).children;
+  const std::string child_prefix =
+      is_root ? prefix : prefix + (last ? "    " : "|   ");
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    render_node(tree, geo, children[i], child_prefix, i + 1 == children.size(),
+                false, os);
+  }
+}
+}  // namespace
+
+std::string render_tree(const overlay::Membership& tree, net::HostId source,
+                        const topo::GeoTopology& geo) {
+  std::ostringstream os;
+  render_node(tree, geo, source, "", true, true, os);
+  return os.str();
+}
+
+}  // namespace vdm::testbed

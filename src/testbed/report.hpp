@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "overlay/membership.hpp"
+#include "topology/geo.hpp"
+
+namespace vdm::testbed {
+
+/// Geographic coherence of the overlay tree — the quantitative version of
+/// Figures 5.5/5.6 ("nodes in United States are connected with each other
+/// as in Europe. There is a clear clustering in continents.").
+struct ClusterStats {
+  std::size_t edges = 0;
+  std::size_t intra_region = 0;
+  std::size_t intra_continent = 0;
+  std::size_t cross_continent = 0;
+
+  double intra_region_fraction() const {
+    return edges ? static_cast<double>(intra_region) / static_cast<double>(edges) : 0.0;
+  }
+  double cross_continent_fraction() const {
+    return edges ? static_cast<double>(cross_continent) / static_cast<double>(edges) : 0.0;
+  }
+};
+
+/// Continent label of a region name ("US-West" -> "US", "EU-North" -> "EU").
+std::string continent_of(const std::string& region_name);
+
+ClusterStats cluster_stats(const overlay::Membership& tree, net::HostId source,
+                           const topo::GeoTopology& geo);
+
+/// ASCII rendering of the overlay tree with per-node region annotations —
+/// the sample-tree view of Figure 5.5/5.6.
+std::string render_tree(const overlay::Membership& tree, net::HostId source,
+                        const topo::GeoTopology& geo);
+
+}  // namespace vdm::testbed

@@ -1,0 +1,155 @@
+#include "testbed/scenario_file.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace vdm::testbed {
+
+void Scenario::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at < b.at;
+                   });
+  const bool has_terminate =
+      !events.empty() && events.back().action == ScenarioEvent::Action::kTerminate;
+  if (!has_terminate) {
+    const sim::Time last = events.empty() ? 0.0 : events.back().at;
+    events.push_back({std::max(end_time, last), net::kInvalidHost,
+                      ScenarioEvent::Action::kTerminate, 0});
+  }
+  end_time = events.back().at;
+}
+
+Scenario generate_scenario(const ScenarioSpec& spec, util::Rng& rng) {
+  VDM_REQUIRE(spec.members >= 1);
+  VDM_REQUIRE_MSG(spec.nodes.size() >= spec.members,
+                  "not enough usable nodes for the requested membership");
+  VDM_REQUIRE(spec.degree_min >= 1 && spec.degree_max >= spec.degree_min);
+
+  Scenario sc;
+  sc.end_time = spec.total_time;
+
+  std::vector<net::HostId> available = spec.nodes;
+  rng.shuffle(available);
+  std::vector<net::HostId> in_overlay;
+
+  auto draw_degree = [&] {
+    return static_cast<int>(rng.uniform_int(spec.degree_min, spec.degree_max));
+  };
+
+  // Warmup joins, staggered over the join phase.
+  for (std::size_t i = 0; i < spec.members; ++i) {
+    const net::HostId h = available.back();
+    available.pop_back();
+    in_overlay.push_back(h);
+    sc.events.push_back({rng.uniform(0.001, spec.join_phase), h,
+                         ScenarioEvent::Action::kJoin, draw_degree()});
+  }
+
+  // Churn slots for the remainder. Victims are drawn from the membership
+  // snapshot at slot start and joiners from the pool snapshot; bookkeeping
+  // is applied only after the whole slot is laid out, so a node never
+  // leaves before the join that (re-)admitted it: re-use is deferred to the
+  // next slot, which starts after every event time of this one
+  // (events land in [slot, slot + 0.75 * interval]).
+  const auto churn_count = static_cast<std::size_t>(
+      std::llround(spec.churn_rate * static_cast<double>(spec.members)));
+  for (sim::Time slot = spec.join_phase; slot + spec.churn_interval <= spec.total_time;
+       slot += spec.churn_interval) {
+    std::vector<net::HostId> slot_victims;
+    std::vector<net::HostId> slot_joiners;
+    for (std::size_t i = 0; i < churn_count; ++i) {
+      if (in_overlay.empty() || available.empty()) break;
+      const auto vi = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(in_overlay.size()) - 1));
+      const net::HostId victim = in_overlay[vi];
+      in_overlay[vi] = in_overlay.back();
+      in_overlay.pop_back();
+      slot_victims.push_back(victim);
+      sc.events.push_back({slot + rng.uniform(0.0, spec.churn_interval * 0.75), victim,
+                           ScenarioEvent::Action::kLeave, 0});
+
+      const net::HostId joiner = available.back();
+      available.pop_back();
+      slot_joiners.push_back(joiner);
+      sc.events.push_back({slot + rng.uniform(0.0, spec.churn_interval * 0.75), joiner,
+                           ScenarioEvent::Action::kJoin, draw_degree()});
+    }
+    in_overlay.insert(in_overlay.end(), slot_joiners.begin(), slot_joiners.end());
+    available.insert(available.begin(), slot_victims.begin(), slot_victims.end());
+  }
+
+  sc.normalize();
+  return sc;
+}
+
+void write_scenario(const Scenario& scenario, std::ostream& os) {
+  // Full double precision so a written scenario replays bit-identically.
+  os.precision(17);
+  os << "# vdm testbed scenario: <time> <action> <node> [degree]\n";
+  for (const ScenarioEvent& e : scenario.events) {
+    switch (e.action) {
+      case ScenarioEvent::Action::kJoin:
+        os << e.at << " join " << e.node << ' ' << e.degree_limit << '\n';
+        break;
+      case ScenarioEvent::Action::kLeave:
+        os << e.at << " leave " << e.node << '\n';
+        break;
+      case ScenarioEvent::Action::kTerminate:
+        os << e.at << " terminate\n";
+        break;
+    }
+  }
+}
+
+Scenario parse_scenario(std::istream& is) {
+  Scenario sc;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    double at = 0.0;
+    std::string action;
+    if (!(ls >> at >> action)) continue;  // blank / comment-only line
+    ScenarioEvent e;
+    e.at = at;
+    if (action == "join") {
+      std::uint64_t node = 0;
+      VDM_REQUIRE_MSG(static_cast<bool>(ls >> node),
+                      "scenario line " + std::to_string(line_no) + ": join needs a node");
+      e.node = static_cast<net::HostId>(node);
+      e.action = ScenarioEvent::Action::kJoin;
+      int degree = 4;
+      if (ls >> degree) e.degree_limit = degree;
+    } else if (action == "leave") {
+      std::uint64_t node = 0;
+      VDM_REQUIRE_MSG(static_cast<bool>(ls >> node),
+                      "scenario line " + std::to_string(line_no) + ": leave needs a node");
+      e.node = static_cast<net::HostId>(node);
+      e.action = ScenarioEvent::Action::kLeave;
+    } else if (action == "terminate") {
+      e.action = ScenarioEvent::Action::kTerminate;
+    } else {
+      VDM_REQUIRE_MSG(false, "scenario line " + std::to_string(line_no) +
+                                 ": unknown action '" + action + "'");
+    }
+    sc.events.push_back(e);
+  }
+  sc.normalize();
+  return sc;
+}
+
+Scenario parse_scenario(const std::string& text) {
+  std::istringstream is(text);
+  return parse_scenario(is);
+}
+
+}  // namespace vdm::testbed

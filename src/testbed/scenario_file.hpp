@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::testbed {
+
+/// One line of a testbed scenario — the dissertation's scenario files tell
+/// "time, node and action for each event" (§5.2.2).
+struct ScenarioEvent {
+  enum class Action { kJoin, kLeave, kTerminate };
+  sim::Time at = 0.0;
+  net::HostId node = net::kInvalidHost;
+  Action action = Action::kJoin;
+  /// Degree limit assigned at join time (ignored for other actions).
+  int degree_limit = 4;
+};
+
+/// A complete, time-ordered scenario.
+struct Scenario {
+  std::vector<ScenarioEvent> events;
+  sim::Time end_time = 0.0;
+
+  /// Sorts by time (stable) and ensures a trailing terminate.
+  void normalize();
+};
+
+/// Generation spec mirroring the paper's PlanetLab runs: a pool of usable
+/// nodes, a join-only warmup, then churn for the remainder of the session.
+struct ScenarioSpec {
+  std::vector<net::HostId> nodes;  // usable node ids (source excluded)
+  std::size_t members = 100;       // how many participate at a time
+  sim::Time join_phase = 2000.0;
+  sim::Time total_time = 5000.0;
+  sim::Time churn_interval = 400.0;
+  double churn_rate = 0.05;        // fraction of members replaced / interval
+  int degree_min = 4, degree_max = 4;
+};
+
+/// Deterministically generates a scenario from the spec (the role of the
+/// paper's scenario generator fed with different seeds).
+Scenario generate_scenario(const ScenarioSpec& spec, util::Rng& rng);
+
+/// Text round-trip: "<time> <join|leave|terminate> <node> [degree]" lines,
+/// '#' comments allowed.
+void write_scenario(const Scenario& scenario, std::ostream& os);
+Scenario parse_scenario(std::istream& is);
+Scenario parse_scenario(const std::string& text);
+
+}  // namespace vdm::testbed

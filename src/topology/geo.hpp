@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/matrix_underlay.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::topo {
+
+/// A population hub around which synthetic "PlanetLab sites" scatter.
+struct GeoRegion {
+  std::string name;
+  double lat_deg;
+  double lon_deg;
+  double weight;  // relative share of hosts
+};
+
+/// Hub sets mirroring the dissertation's deployments: a US-only pool (the
+/// VDM-vs-HMTP runs used ~140 US nodes, source in Colorado) and a
+/// world-wide pool (the sample-tree figures with US + Europe clustering).
+std::vector<GeoRegion> us_regions();
+std::vector<GeoRegion> world_regions();
+
+struct GeoParams {
+  std::size_t num_hosts = 100;
+  std::vector<GeoRegion> regions;  // defaults to us_regions() when empty
+  /// Scatter of a host around its hub, degrees of lat/lon (std. deviation).
+  double scatter_deg = 2.5;
+  /// Signal propagation speed in fiber, km/s (~2/3 c).
+  double propagation_kms = 200000.0;
+  /// Path-inflation factor range: real Internet routes are 1.3-2.5x longer
+  /// than great-circle. Sampled once per host pair, symmetric.
+  double inflation_min = 1.4, inflation_max = 2.4;
+  /// Floor on one-way delay (local processing + last mile), seconds.
+  double min_delay = 0.0005;
+  /// Per-pair loss model: base + per-1000km component + noise, clamped.
+  double loss_base = 0.0;
+  double loss_per_1000km = 0.0;
+  double loss_noise = 0.0;
+  double loss_max = 0.05;
+};
+
+struct GeoHost {
+  double lat_deg;
+  double lon_deg;
+  std::size_t region;  // index into params.regions
+};
+
+/// A PlanetLab-like latency space: host coordinates plus a symmetric
+/// host-to-host delay/loss matrix exposed through the Underlay interface.
+struct GeoTopology {
+  std::vector<GeoHost> hosts;
+  std::vector<std::string> region_names;
+  net::MatrixUnderlay underlay;
+};
+
+/// Great-circle distance in km (haversine, Earth radius 6371 km).
+double great_circle_km(double lat1, double lon1, double lat2, double lon2);
+
+GeoTopology make_geo(const GeoParams& params, util::Rng& rng);
+
+}  // namespace vdm::topo

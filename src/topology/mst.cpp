@@ -1,0 +1,121 @@
+#include "topology/mst.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace vdm::topo {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t index_of(const std::vector<net::HostId>& members, net::HostId h) {
+  const auto it = std::find(members.begin(), members.end(), h);
+  VDM_REQUIRE_MSG(it != members.end(), "root must be a member");
+  return static_cast<std::size_t>(it - members.begin());
+}
+}  // namespace
+
+SpanningTree prim_mst(const std::vector<net::HostId>& members, net::HostId root,
+                      const HostMetric& metric) {
+  VDM_REQUIRE(!members.empty());
+  const std::size_t n = members.size();
+  const std::size_t root_idx = index_of(members, root);
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.members = members;
+  tree.parent.assign(n, net::kInvalidHost);
+
+  std::vector<char> in_tree(n, 0);
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> best_from(n, n);
+  best[root_idx] = 0.0;
+
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t u = n;
+    double u_cost = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < u_cost) {
+        u_cost = best[i];
+        u = i;
+      }
+    }
+    VDM_REQUIRE_MSG(u < n, "metric produced an unreachable member");
+    in_tree[u] = 1;
+    if (u != root_idx) {
+      tree.parent[u] = static_cast<net::HostId>(best_from[u]);
+      tree.total_cost += u_cost;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v] || v == u) continue;
+      const double w = metric(members[u], members[v]);
+      if (w < best[v]) {
+        best[v] = w;
+        best_from[v] = u;
+      }
+    }
+  }
+  return tree;
+}
+
+SpanningTree degree_constrained_tree(const std::vector<net::HostId>& members,
+                                     net::HostId root, const HostMetric& metric,
+                                     const std::vector<int>& degree_limit) {
+  VDM_REQUIRE(members.size() == degree_limit.size());
+  const std::size_t n = members.size();
+  const std::size_t root_idx = index_of(members, root);
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.members = members;
+  tree.parent.assign(n, net::kInvalidHost);
+
+  // Residual tree degree: attaching a child costs the parent one unit; a
+  // non-root node spends one unit on its own parent link.
+  std::vector<int> residual(degree_limit);
+  for (std::size_t i = 0; i < n; ++i) {
+    VDM_REQUIRE_MSG(degree_limit[i] >= 1, "every node needs degree >= 1");
+    if (i != root_idx) --residual[i];
+  }
+
+  std::vector<char> in_tree(n, 0);
+  in_tree[root_idx] = 1;
+  for (std::size_t step = 1; step < n; ++step) {
+    // Cheapest edge from any in-tree node with residual capacity to any
+    // outside node.
+    std::size_t best_u = n, best_v = n;
+    double best_w = kInf;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!in_tree[u] || residual[u] <= 0) continue;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (in_tree[v]) continue;
+        const double w = metric(members[u], members[v]);
+        if (w < best_w) {
+          best_w = w;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    VDM_REQUIRE_MSG(best_v < n,
+                    "degree limits too tight to span all members");
+    in_tree[best_v] = 1;
+    --residual[best_u];
+    tree.parent[best_v] = static_cast<net::HostId>(best_u);
+    tree.total_cost += best_w;
+  }
+  return tree;
+}
+
+double tree_cost(const SpanningTree& tree, const HostMetric& metric) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < tree.parent.size(); ++i) {
+    if (tree.parent[i] == net::kInvalidHost) continue;
+    cost += metric(tree.members[i], tree.members[tree.parent[i]]);
+  }
+  return cost;
+}
+
+}  // namespace vdm::topo

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace vdm::topo {
+
+/// Pairwise metric over hosts (e.g. RTT through an Underlay).
+using HostMetric = std::function<double(net::HostId, net::HostId)>;
+
+/// A spanning tree over a host set, rooted at `root`.
+struct SpanningTree {
+  net::HostId root = net::kInvalidHost;
+  /// parent[i] indexes into `members`; root's parent is kInvalidHost.
+  std::vector<net::HostId> parent;
+  /// The host ids the tree spans, parallel to `parent`.
+  std::vector<net::HostId> members;
+  /// Sum of metric over tree edges.
+  double total_cost = 0.0;
+};
+
+/// Exact minimum spanning tree over `members` under `metric` (Prim,
+/// O(n^2) on the dense host metric). The reference line of Figure 5.31.
+SpanningTree prim_mst(const std::vector<net::HostId>& members, net::HostId root,
+                      const HostMetric& metric);
+
+/// Degree-constrained spanning tree via Prim with a per-node residual-degree
+/// filter (greedy; DCMST is NP-hard, this is the practical reference the
+/// paper's "converge to MST within degree constraints" goal implies).
+/// degree_limit[i] bounds the tree degree (children + parent) of members[i].
+SpanningTree degree_constrained_tree(const std::vector<net::HostId>& members,
+                                     net::HostId root, const HostMetric& metric,
+                                     const std::vector<int>& degree_limit);
+
+/// Total cost of an arbitrary parent-indexed tree under `metric`
+/// (for comparing a protocol's tree against the MST).
+double tree_cost(const SpanningTree& tree, const HostMetric& metric);
+
+}  // namespace vdm::topo

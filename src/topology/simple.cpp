@@ -1,0 +1,55 @@
+#include "topology/simple.hpp"
+
+#include "util/require.hpp"
+
+namespace vdm::topo {
+
+net::Graph make_line(std::size_t n, double delay, double loss) {
+  VDM_REQUIRE(n >= 1);
+  net::Graph g;
+  g.add_nodes(n);
+  for (net::NodeId i = 0; i + 1 < n; ++i) g.add_link(i, i + 1, delay, loss);
+  return g;
+}
+
+net::Graph make_ring(std::size_t n, double delay, double loss) {
+  VDM_REQUIRE(n >= 3);
+  net::Graph g = make_line(n, delay, loss);
+  g.add_link(static_cast<net::NodeId>(n - 1), 0, delay, loss);
+  return g;
+}
+
+net::Graph make_star(std::size_t n, double delay, double loss) {
+  VDM_REQUIRE(n >= 2);
+  net::Graph g;
+  g.add_nodes(n);
+  for (net::NodeId i = 1; i < n; ++i) g.add_link(0, i, delay, loss);
+  return g;
+}
+
+net::Graph make_grid(std::size_t rows, std::size_t cols, double delay, double loss) {
+  VDM_REQUIRE(rows >= 1 && cols >= 1);
+  net::Graph g;
+  g.add_nodes(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<net::NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_link(id(r, c), id(r, c + 1), delay, loss);
+      if (r + 1 < rows) g.add_link(id(r, c), id(r + 1, c), delay, loss);
+    }
+  }
+  return g;
+}
+
+net::Graph make_complete(std::size_t n, double delay, double loss) {
+  VDM_REQUIRE(n >= 2);
+  net::Graph g;
+  g.add_nodes(n);
+  for (net::NodeId i = 0; i < n; ++i)
+    for (net::NodeId j = i + 1; j < n; ++j) g.add_link(i, j, delay, loss);
+  return g;
+}
+
+}  // namespace vdm::topo

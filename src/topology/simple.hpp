@@ -1,0 +1,28 @@
+#pragma once
+
+#include "net/graph.hpp"
+
+namespace vdm::topo {
+
+/// Tiny deterministic topologies for unit tests and worked examples.
+/// Delays are uniform `delay` per link unless stated otherwise; these are
+/// the shapes in which the paper's three directionality cases have known
+/// ground-truth answers.
+
+/// Path 0 - 1 - ... - (n-1).
+net::Graph make_line(std::size_t n, double delay = 0.010, double loss = 0.0);
+
+/// Cycle of n >= 3 nodes.
+net::Graph make_ring(std::size_t n, double delay = 0.010, double loss = 0.0);
+
+/// Hub 0 with n-1 spokes.
+net::Graph make_star(std::size_t n, double delay = 0.010, double loss = 0.0);
+
+/// rows x cols 4-neighbour grid; node (r, c) has id r*cols + c.
+net::Graph make_grid(std::size_t rows, std::size_t cols, double delay = 0.010,
+                     double loss = 0.0);
+
+/// Complete graph K_n.
+net::Graph make_complete(std::size_t n, double delay = 0.010, double loss = 0.0);
+
+}  // namespace vdm::topo

@@ -1,0 +1,73 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vdm::util {
+
+namespace {
+
+std::string env_name(const std::string& flag) {
+  std::string out = "VDM_";
+  for (char ch : flag) {
+    out += (ch == '-') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  if (values_.count(name)) return true;
+  return std::getenv(env_name(name).c_str()) != nullptr;
+}
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(name).c_str())) return env;
+  return def;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::stoll(v);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::stod(v);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  std::string v = get(name, "");
+  if (v.empty()) return def;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace vdm::util

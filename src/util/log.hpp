@@ -1,0 +1,41 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vdm::util {
+
+/// Global log verbosity. The library is silent at kWarn (default) unless
+/// something is actually wrong; simulations raise to kInfo / kDebug when
+/// tracing protocol decisions.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace vdm::util
+
+#define VDM_LOG(level) ::vdm::util::detail::LogStream(level)
+#define VDM_DEBUG() VDM_LOG(::vdm::util::LogLevel::kDebug)
+#define VDM_INFO() VDM_LOG(::vdm::util::LogLevel::kInfo)
+#define VDM_WARN() VDM_LOG(::vdm::util::LogLevel::kWarn)

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vdm::util {
+
+/// Error thrown when a library precondition or internal invariant is violated.
+/// Used instead of assert() so that violations are testable and carry context.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace vdm::util
+
+/// Checked in all build types. Use for public API preconditions and for
+/// invariants whose violation would silently corrupt an experiment.
+#define VDM_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::vdm::util::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define VDM_REQUIRE_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::vdm::util::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

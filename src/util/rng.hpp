@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vdm::util {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++).
+///
+/// Every stochastic component of the library draws from an Rng owned by its
+/// caller, so a single experiment seed fully determines topology, scenario
+/// and packet-loss outcomes. The generator is cheap to copy and to split
+/// into decorrelated substreams (see split()), which is what lets seeds run
+/// on independent threads with no shared state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64, so nearby seeds
+  /// still produce decorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box–Muller; consumes two uniforms).
+  double normal(double mean, double stddev);
+
+  /// Pareto-distributed value with scale xm > 0 and shape alpha > 0.
+  /// Used for heavy-tailed session lifetimes.
+  double pareto(double xm, double alpha);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in random order (k <= n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent generator; stream `i` of the same parent is
+  /// reproducible and decorrelated from the parent and its siblings.
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vdm::util

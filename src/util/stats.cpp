@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace vdm::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return n_ ? min_ : 0.0; }
+
+double OnlineStats::max() const { return n_ ? max_ : 0.0; }
+
+namespace {
+
+// Two-sided critical values t_{alpha/2, df}. Rows: df 1..30; selected
+// confidence levels. Linear interpolation over df is unnecessary because
+// the table is dense up to 30 and the normal limit is accurate beyond.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                             1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                             1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                             1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                             1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                             2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                             2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                             2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                             2.045,  2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                             3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                             2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                             2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                             2.756,  2.750};
+
+}  // namespace
+
+double student_t_critical(double confidence, std::size_t df) {
+  VDM_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  if (df == 0) return 0.0;
+  const double* table = nullptr;
+  double z = 0.0;
+  if (confidence <= 0.905) {
+    table = kT90;
+    z = 1.645;
+  } else if (confidence <= 0.955) {
+    table = kT95;
+    z = 1.960;
+  } else {
+    table = kT99;
+    z = 2.576;
+  }
+  if (df <= 30) return table[df - 1];
+  return z;
+}
+
+Summary summarize(const std::vector<double>& samples, double confidence) {
+  Summary s;
+  s.confidence = confidence;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  OnlineStats acc;
+  for (double x : samples) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  if (s.n > 1) {
+    const double t = student_t_critical(confidence, s.n - 1);
+    s.ci_halfwidth = t * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << mean << " ±" << ci_halfwidth << " (n=" << n << ")";
+  return os.str();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  VDM_REQUIRE(!samples.empty());
+  VDM_REQUIRE(p >= 0.0 && p <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double idx = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace vdm::util

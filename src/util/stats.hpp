@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vdm::util {
+
+/// Streaming accumulator for mean / variance / extrema (Welford's method).
+/// Numerically stable for the long per-epoch series the experiment runner
+/// produces; O(1) memory, so collectors can be kept per link or per node.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value for the given confidence level
+/// (e.g. 0.90) and degrees of freedom; falls back to the normal quantile
+/// for large df. Supports the 90 % confidence intervals the paper reports.
+double student_t_critical(double confidence, std::size_t df);
+
+/// Aggregated result of repeating a measurement across independent seeds.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Half-width of the confidence interval around the mean.
+  double ci_halfwidth = 0.0;
+  double confidence = 0.90;
+
+  double lo() const { return mean - ci_halfwidth; }
+  double hi() const { return mean + ci_halfwidth; }
+  std::string to_string() const;
+};
+
+/// Summarizes `samples` with a `confidence` CI (paper default: 90 %).
+Summary summarize(const std::vector<double>& samples, double confidence = 0.90);
+
+/// p-th percentile (p in [0,1]) by linear interpolation; requires non-empty.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace vdm::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vdm::util {
+
+/// Column-aligned results table, printable both as human-readable console
+/// output and as CSV. Bench binaries use it to emit the same rows/series
+/// the paper's figures plot.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string fmt(double v, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Pretty console rendering with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed: cells never contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdm::util

@@ -1,0 +1,96 @@
+#include "core/directionality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace vdm::core {
+namespace {
+
+// Pairwise distances as (d_np, d_nc, d_pc) — newcomer-parent,
+// newcomer-child, parent-child.
+
+TEST(Directionality, CaseIWhenParentSeparates) {
+  // N --- P --- C: d_nc is the longest.
+  EXPECT_EQ(classify_direction(1.0, 2.0, 1.0), DirCase::kCaseI);
+}
+
+TEST(Directionality, CaseIIWhenNewcomerBetween) {
+  // P --- N --- C: d_pc is the longest.
+  EXPECT_EQ(classify_direction(1.0, 1.0, 2.0), DirCase::kCaseII);
+}
+
+TEST(Directionality, CaseIIIWhenChildBetween) {
+  // P --- C --- N: d_np is the longest.
+  EXPECT_EQ(classify_direction(2.0, 1.0, 1.0), DirCase::kCaseIII);
+}
+
+TEST(Directionality, RealRttsNeverSumExactly) {
+  // "Longer distance is generally not equal to the sum of shorter
+  // distances" (§3.1.2) — classification only needs the longest side.
+  EXPECT_EQ(classify_direction(0.080, 0.030, 0.055), DirCase::kCaseIII);
+  EXPECT_EQ(classify_direction(0.030, 0.035, 0.090), DirCase::kCaseII);
+  EXPECT_EQ(classify_direction(0.050, 0.110, 0.065), DirCase::kCaseI);
+}
+
+TEST(Directionality, EquilateralDegradesToCaseI) {
+  EXPECT_EQ(classify_direction(1.0, 1.0, 1.0), DirCase::kCaseI);
+}
+
+TEST(Directionality, NearTieWithinEpsilonDegradesToCaseI) {
+  // d_pc leads by less than the 2% default margin -> too ambiguous.
+  EXPECT_EQ(classify_direction(1.00, 1.00, 1.01), DirCase::kCaseI);
+  EXPECT_EQ(classify_direction(1.01, 1.00, 1.00), DirCase::kCaseI);
+}
+
+TEST(Directionality, ClearMarginTriggersDirectionalCases) {
+  EXPECT_EQ(classify_direction(1.0, 1.0, 1.5, 0.02), DirCase::kCaseII);
+  EXPECT_EQ(classify_direction(1.5, 1.0, 1.0, 0.02), DirCase::kCaseIII);
+}
+
+TEST(Directionality, EpsilonZeroIsStrictComparison) {
+  EXPECT_EQ(classify_direction(1.0, 1.0, 1.0 + 1e-9, 0.0), DirCase::kCaseII);
+}
+
+TEST(Directionality, LargeEpsilonSuppressesAll) {
+  EXPECT_EQ(classify_direction(1.0, 1.0, 1.4, 0.5), DirCase::kCaseI);
+  EXPECT_EQ(classify_direction(1.4, 1.0, 1.0, 0.5), DirCase::kCaseI);
+}
+
+TEST(Directionality, ZeroDistancesAreCaseI) {
+  EXPECT_EQ(classify_direction(0.0, 0.0, 0.0), DirCase::kCaseI);
+}
+
+TEST(Directionality, RejectsNegativeInputs) {
+  EXPECT_THROW(classify_direction(-1.0, 1.0, 1.0), util::InvariantError);
+  EXPECT_THROW(classify_direction(1.0, 1.0, 1.0, -0.1), util::InvariantError);
+}
+
+TEST(Directionality, ScaleInvariantWithRelativeEpsilon) {
+  for (const double scale : {1e-3, 1.0, 1e3}) {
+    EXPECT_EQ(classify_direction(1.0 * scale, 1.0 * scale, 1.5 * scale),
+              DirCase::kCaseII);
+    EXPECT_EQ(classify_direction(1.5 * scale, 1.0 * scale, 1.0 * scale),
+              DirCase::kCaseIII);
+    EXPECT_EQ(classify_direction(1.0 * scale, 1.5 * scale, 1.0 * scale),
+              DirCase::kCaseI);
+  }
+}
+
+TEST(Directionality, ExactlyOneCaseForRandomTriples) {
+  // Classification is a total function: any triple maps to exactly one case
+  // (trivially true by construction, but guards against future edits
+  // introducing unreachable regions).
+  for (int a = 1; a <= 5; ++a) {
+    for (int b = 1; b <= 5; ++b) {
+      for (int c = 1; c <= 5; ++c) {
+        const DirCase result = classify_direction(a, b, c);
+        EXPECT_TRUE(result == DirCase::kCaseI || result == DirCase::kCaseII ||
+                    result == DirCase::kCaseIII);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdm::core

@@ -1,0 +1,112 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace vdm::net {
+namespace {
+
+TEST(Graph, AddNodesReturnsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_nodes(3), 2u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(Graph, AddNodesRejectsZero) {
+  Graph g;
+  EXPECT_THROW(g.add_nodes(0), util::InvariantError);
+}
+
+TEST(Graph, AddLinkStoresEndpointsAndWeights) {
+  Graph g;
+  g.add_nodes(2);
+  const LinkId l = g.add_link(0, 1, 0.015, 0.01);
+  const Link& link = g.link(l);
+  EXPECT_EQ(link.a, 0u);
+  EXPECT_EQ(link.b, 1u);
+  EXPECT_DOUBLE_EQ(link.delay, 0.015);
+  EXPECT_DOUBLE_EQ(link.loss, 0.01);
+  EXPECT_EQ(link.other(0), 1u);
+  EXPECT_EQ(link.other(1), 0u);
+}
+
+TEST(Graph, RejectsInvalidLinks) {
+  Graph g;
+  g.add_nodes(2);
+  EXPECT_THROW(g.add_link(0, 0, 0.01), util::InvariantError);  // self-loop
+  EXPECT_THROW(g.add_link(0, 2, 0.01), util::InvariantError);  // missing node
+  EXPECT_THROW(g.add_link(0, 1, 0.0), util::InvariantError);   // zero delay
+  EXPECT_THROW(g.add_link(0, 1, 0.01, 1.0), util::InvariantError);  // loss == 1
+  EXPECT_THROW(g.add_link(0, 1, 0.01, -0.1), util::InvariantError);
+}
+
+TEST(Graph, ArcsListBothDirections) {
+  Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 1, 0.010);
+  g.add_link(1, 2, 0.020);
+  EXPECT_EQ(g.arcs(0).size(), 1u);
+  EXPECT_EQ(g.arcs(1).size(), 2u);
+  EXPECT_EQ(g.arcs(2).size(), 1u);
+  EXPECT_EQ(g.arcs(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(g.arcs(0)[0].delay, 0.010);
+}
+
+TEST(Graph, ParallelLinksAllowed) {
+  Graph g;
+  g.add_nodes(2);
+  g.add_link(0, 1, 0.010);
+  g.add_link(0, 1, 0.020);
+  EXPECT_EQ(g.num_links(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Graph, AdjacencyRebuildsAfterMutation) {
+  Graph g;
+  g.add_nodes(2);
+  g.add_link(0, 1, 0.010);
+  EXPECT_EQ(g.arcs(0).size(), 1u);  // builds CSR
+  const NodeId c = g.add_node();
+  g.add_link(1, c, 0.010);
+  EXPECT_EQ(g.arcs(1).size(), 2u);  // rebuilt
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g;
+  g.add_nodes(4);
+  g.add_link(0, 1, 0.01);
+  g.add_link(2, 3, 0.01);
+  EXPECT_FALSE(g.connected());
+  g.add_link(1, 2, 0.01);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, TrivialGraphsAreConnected) {
+  Graph g;
+  EXPECT_TRUE(g.connected());  // empty
+  g.add_node();
+  EXPECT_TRUE(g.connected());  // singleton
+}
+
+TEST(Graph, VersionBumpsOnMutation) {
+  Graph g;
+  const auto v0 = g.version();
+  g.add_node();
+  const auto v1 = g.version();
+  EXPECT_GT(v1, v0);
+  g.add_node();
+  g.add_link(0, 1, 0.01);
+  EXPECT_GT(g.version(), v1);
+}
+
+TEST(Graph, ArcsRejectOutOfRange) {
+  Graph g;
+  g.add_node();
+  EXPECT_THROW(g.arcs(5), util::InvariantError);
+}
+
+}  // namespace
+}  // namespace vdm::net

@@ -1,0 +1,138 @@
+#include "baselines/hmtp_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_protocol.hpp"
+#include "helpers.hpp"
+
+namespace vdm::baselines {
+namespace {
+
+using testutil::Harness;
+using testutil::line_underlay;
+
+TEST(HmtpJoin, FirstNodeAttachesToSource) {
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0}), hmtp);
+  EXPECT_EQ(h.join(1), 0u);
+}
+
+TEST(HmtpJoin, DescendsToCloserChild) {
+  // S=0, C=10; N=12 is closer to C -> descends and attaches under C.
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 12.0}), hmtp);
+  h.join(1);
+  EXPECT_EQ(h.join(2), 1u);
+}
+
+TEST(HmtpJoin, StopsWhenCurrentNodeClosest) {
+  // N=4 is closer to S than to C=10 -> attaches to S.
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 4.0}), hmtp);
+  h.join(1);
+  EXPECT_EQ(h.join(2), 0u);
+}
+
+TEST(HmtpJoin, MissesTheSpliceVdmMakes) {
+  // The paper's Scenario I (Figure 3.21): N between P and C. HMTP attaches
+  // N to P and leaves C where it was — it has no Case II. (VDM splices
+  // immediately; see VdmJoin.CaseIISplicesBetweenSourceAndChild.)
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 5.0}), hmtp);
+  h.join(1);
+  EXPECT_EQ(h.join(2), 0u);
+  EXPECT_EQ(h.parent(1), 0u);  // C still directly under S
+}
+
+TEST(HmtpJoin, RefinementRepairsTheMissedSplice) {
+  // ...and HMTP's periodic refinement is what eventually finds the better
+  // parent ("C finds N by sending a refinement message", §3.5).
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 5.0}), hmtp);
+  h.join(1);
+  h.join(2);
+  ASSERT_EQ(h.parent(1), 0u);
+  const overlay::OpStats stats = h.session.refine(1);
+  EXPECT_TRUE(stats.parent_changed);
+  EXPECT_EQ(h.parent(1), 2u);  // C now under N
+  EXPECT_NO_THROW(h.session.tree().validate());
+}
+
+TEST(HmtpJoin, FullParentFallsBackToClosestFreeChild) {
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 1.0}), hmtp, /*source_degree=*/1);
+  h.join(1);
+  // N=1 prefers S, but S is saturated -> attaches to the only free child.
+  EXPECT_EQ(h.join(2), 1u);
+}
+
+TEST(HmtpJoin, RefinementHysteresisBlocksMarginalSwitches) {
+  HmtpConfig cfg;
+  cfg.switch_margin = 0.3;  // demand a 30% improvement
+  HmtpProtocol hmtp(cfg);
+  Harness h(line_underlay({0.0, 10.0, 4.0}), hmtp);
+  h.join(1);
+  h.join(2);  // N=4 stops at S (4 < 6)
+  // Refining C (=1): switching to N costs 6 vs the current 10 — a 40%
+  // improvement, above the margin, so it switches.
+  EXPECT_TRUE(h.session.refine(1).parent_changed);
+  EXPECT_EQ(h.parent(1), 2u);
+
+  HmtpProtocol hmtp2(cfg);
+  Harness h2(line_underlay({0.0, 10.0, 3.0}), hmtp2);
+  h2.join(1);
+  h2.join(2);  // N=3 stops at S (3 < 7)
+  // Switching to N would cost 7 vs 10 — exactly the 30% margin, blocked.
+  EXPECT_FALSE(h2.session.refine(1).parent_changed);
+  EXPECT_EQ(h2.parent(1), 0u);
+}
+
+TEST(HmtpJoin, PeriodicRefinementEnabledByDefault) {
+  HmtpProtocol hmtp;
+  EXPECT_TRUE(hmtp.wants_refinement());
+  EXPECT_DOUBLE_EQ(hmtp.refinement_period(), 30.0);  // the paper's period
+  Harness h(line_underlay({0.0, 10.0, 5.0}), hmtp);
+  h.join(1);
+  h.join(2);
+  h.sim.run_until(100.0);
+  EXPECT_GT(h.session.totals().refines_run, 0u);
+  // The missed splice self-repairs within a few periods.
+  EXPECT_EQ(h.parent(1), 2u);
+}
+
+TEST(HmtpJoin, BuildsChainOnLineJoinOrder) {
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 30.0}), hmtp);
+  for (net::HostId n = 1; n <= 3; ++n) EXPECT_EQ(h.join(n), n - 1);
+}
+
+TEST(HmtpJoin, ReconnectionUsesGrandparent) {
+  HmtpProtocol hmtp;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 30.0}), hmtp);
+  for (net::HostId n = 1; n <= 3; ++n) h.join(n);
+  h.session.leave(2);
+  EXPECT_EQ(h.parent(3), 1u);  // reconnected from grandparent 1
+  EXPECT_NO_THROW(h.session.tree().validate());
+}
+
+TEST(RandomProtocol, AttachesSomewhereValid) {
+  RandomProtocol random;
+  Harness h(testutil::line_underlay({0.0, 10.0, 20.0, 30.0, 40.0}), random);
+  for (net::HostId n = 1; n <= 4; ++n) {
+    EXPECT_NE(h.join(n, 2), net::kInvalidHost);
+  }
+  EXPECT_NO_THROW(h.session.tree().validate());
+}
+
+TEST(RandomProtocol, RespectsDegreeLimits) {
+  RandomProtocol random;
+  Harness h(testutil::line_underlay({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}),
+            random, /*source_degree=*/1);
+  for (net::HostId n = 1; n <= 6; ++n) h.join(n, 1);
+  for (net::HostId n = 0; n <= 6; ++n) {
+    EXPECT_LE(h.session.tree().member(n).children.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace vdm::baselines

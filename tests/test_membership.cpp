@@ -1,0 +1,202 @@
+#include "overlay/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+namespace {
+
+TEST(Membership, ActivateSetsStateFresh) {
+  Membership m(4);
+  m.activate(0, 3);
+  EXPECT_TRUE(m.member(0).alive);
+  EXPECT_EQ(m.member(0).degree_limit, 3);
+  EXPECT_EQ(m.member(0).parent, kInvalidHost);
+  EXPECT_TRUE(m.member(0).children.empty());
+}
+
+TEST(Membership, ActivateRejectsDoubleActivationAndBadDegree) {
+  Membership m(2);
+  m.activate(0, 1);
+  EXPECT_THROW(m.activate(0, 1), util::InvariantError);
+  EXPECT_THROW(m.activate(1, 0), util::InvariantError);
+}
+
+TEST(Membership, AttachWiresBothDirections) {
+  Membership m(3);
+  m.activate(0, 2);
+  m.activate(1, 2);
+  m.attach(1, 0, 0.5);
+  EXPECT_EQ(m.member(1).parent, 0u);
+  ASSERT_EQ(m.member(0).children.size(), 1u);
+  EXPECT_EQ(m.member(0).children[0], 1u);
+  EXPECT_DOUBLE_EQ(m.stored_child_distance(0, 1), 0.5);
+  m.validate();
+}
+
+TEST(Membership, AttachSetsGrandparent) {
+  Membership m(3);
+  for (HostId h = 0; h < 3; ++h) m.activate(h, 2);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  EXPECT_EQ(m.member(2).grandparent, 0u);
+  EXPECT_EQ(m.member(1).grandparent, kInvalidHost);
+  m.validate();
+}
+
+TEST(Membership, AttachEnforcesDegreeLimit) {
+  Membership m(4);
+  m.activate(0, 2);
+  for (HostId h = 1; h < 4; ++h) m.activate(h, 1);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 0, 1.0);
+  EXPECT_FALSE(m.member(0).has_free_degree());
+  EXPECT_THROW(m.attach(3, 0, 1.0), util::InvariantError);
+  EXPECT_NO_THROW(m.attach(3, 0, 1.0, /*allow_full=*/true));
+}
+
+TEST(Membership, AttachRejectsCycles) {
+  Membership m(3);
+  for (HostId h = 0; h < 3; ++h) m.activate(h, 3);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  m.detach(1);  // 1 keeps child 2
+  EXPECT_THROW(m.attach(1, 2, 1.0), util::InvariantError);  // 2 is below 1
+  EXPECT_THROW(m.attach(1, 1, 1.0), util::InvariantError);  // self
+}
+
+TEST(Membership, AttachRejectsDeadOrDoubleParent) {
+  Membership m(3);
+  m.activate(0, 2);
+  m.activate(1, 2);
+  EXPECT_THROW(m.attach(2, 0, 1.0), util::InvariantError);  // 2 not alive
+  m.attach(1, 0, 1.0);
+  EXPECT_THROW(m.attach(1, 0, 1.0), util::InvariantError);  // already attached
+}
+
+TEST(Membership, DetachKeepsSubtreeOnChild) {
+  Membership m(4);
+  for (HostId h = 0; h < 4; ++h) m.activate(h, 3);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  m.attach(3, 2, 1.0);
+  m.detach(1);
+  EXPECT_EQ(m.member(1).parent, kInvalidHost);
+  EXPECT_TRUE(m.member(0).children.empty());
+  EXPECT_EQ(m.member(2).parent, 1u);  // subtree intact
+  EXPECT_EQ(m.subtree(1), (std::vector<HostId>{1, 2, 3}));
+}
+
+TEST(Membership, MoveChildUpdatesGrandparentsOfGrandchildren) {
+  Membership m(5);
+  for (HostId h = 0; h < 5; ++h) m.activate(h, 4);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 0, 1.0);
+  m.attach(3, 1, 1.0);
+  m.attach(4, 3, 1.0);
+  // Move 3 from 1 to 2: 3's grandparent becomes 0, 4's becomes 2.
+  m.move_child(3, 2, 2.0);
+  EXPECT_EQ(m.member(3).parent, 2u);
+  EXPECT_EQ(m.member(3).grandparent, 0u);
+  EXPECT_EQ(m.member(4).grandparent, 2u);
+  m.validate();
+}
+
+TEST(Membership, DeactivateOrphansChildrenButKeepsTheirGrandparent) {
+  Membership m(4);
+  for (HostId h = 0; h < 4; ++h) m.activate(h, 3);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  m.attach(3, 1, 1.0);
+  const std::vector<HostId> orphans = m.deactivate(1);
+  EXPECT_EQ(orphans, (std::vector<HostId>{2, 3}));
+  EXPECT_FALSE(m.member(1).alive);
+  EXPECT_TRUE(m.member(0).children.empty());
+  // Orphans keep the grandparent pointer — that is where they reconnect.
+  EXPECT_EQ(m.member(2).parent, kInvalidHost);
+  EXPECT_EQ(m.member(2).grandparent, 0u);
+  EXPECT_EQ(m.member(3).grandparent, 0u);
+}
+
+TEST(Membership, DeactivateDetachedNode) {
+  Membership m(2);
+  m.activate(0, 1);
+  const auto orphans = m.deactivate(0);
+  EXPECT_TRUE(orphans.empty());
+  EXPECT_FALSE(m.member(0).alive);
+}
+
+TEST(Membership, RootPathOrder) {
+  Membership m(4);
+  for (HostId h = 0; h < 4; ++h) m.activate(h, 2);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  m.attach(3, 2, 1.0);
+  EXPECT_EQ(m.root_path(3), (std::vector<HostId>{2, 1, 0}));
+  EXPECT_TRUE(m.root_path(0).empty());
+}
+
+TEST(Membership, DepthMeasuresHops) {
+  Membership m(4);
+  for (HostId h = 0; h < 4; ++h) m.activate(h, 2);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  EXPECT_EQ(m.depth(0), 0u);
+  EXPECT_EQ(m.depth(1), 1u);
+  EXPECT_EQ(m.depth(2), 2u);
+  // Host 3 is alive but detached: depth 0 in its own fragment, and not
+  // under the root (the check callers use for attachment).
+  EXPECT_EQ(m.depth(3), 0u);
+  EXPECT_FALSE(m.is_ancestor(0, 3));
+}
+
+TEST(Membership, IsAncestorSemantics) {
+  Membership m(4);
+  for (HostId h = 0; h < 4; ++h) m.activate(h, 2);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  EXPECT_TRUE(m.is_ancestor(0, 2));
+  EXPECT_TRUE(m.is_ancestor(2, 2));  // reflexive by definition used here
+  EXPECT_FALSE(m.is_ancestor(2, 0));
+  EXPECT_FALSE(m.is_ancestor(3, 2));
+}
+
+TEST(Membership, AliveMembersLists) {
+  Membership m(5);
+  m.activate(1, 2);
+  m.activate(3, 2);
+  EXPECT_EQ(m.alive_members(), (std::vector<HostId>{1, 3}));
+  m.deactivate(1);
+  EXPECT_EQ(m.alive_members(), (std::vector<HostId>{3}));
+}
+
+TEST(Membership, StoredDistanceRequiresEdge) {
+  Membership m(3);
+  m.activate(0, 2);
+  m.activate(1, 2);
+  EXPECT_THROW(m.stored_child_distance(0, 1), util::InvariantError);
+}
+
+TEST(Membership, ValidatePassesOnConsistentTree) {
+  Membership m(6);
+  for (HostId h = 0; h < 6; ++h) m.activate(h, 3);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 0, 1.0);
+  m.attach(3, 1, 1.0);
+  m.attach(4, 1, 1.0);
+  m.attach(5, 2, 1.0);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Membership, SubtreeOfLeafIsItself) {
+  Membership m(2);
+  m.activate(0, 1);
+  EXPECT_EQ(m.subtree(0), std::vector<HostId>{0});
+}
+
+}  // namespace
+}  // namespace vdm::overlay

@@ -1,0 +1,145 @@
+#include "overlay/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::overlay {
+namespace {
+
+net::MatrixUnderlay lossy_pair(double loss01) {
+  std::vector<double> d{0.0, 0.010, 0.010, 0.0};
+  std::vector<double> l{0.0, loss01, loss01, 0.0};
+  return net::MatrixUnderlay(2, std::move(d), std::move(l));
+}
+
+TEST(DelayMetric, ExactWithoutNoise) {
+  const net::MatrixUnderlay u = testutil::line_underlay({0.0, 10.0, 25.0});
+  DelayMetric m;
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(m.measure(u, 0, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(m.measure(u, 0, 2, rng), 25.0);
+  EXPECT_DOUBLE_EQ(m.measurement_time(u, 0, 2), 25.0);
+  EXPECT_EQ(m.messages_per_measurement(), 2);
+}
+
+TEST(DelayMetric, NoiseIsUnbiasedAndBounded) {
+  const net::MatrixUnderlay u = testutil::line_underlay({0.0, 10.0});
+  DelayMetric m(0.1);
+  util::Rng rng(2);
+  double sum = 0.0;
+  bool varied = false;
+  double first = -1.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = m.measure(u, 0, 1, rng);
+    EXPECT_GT(v, 0.0);
+    if (first < 0.0) {
+      first = v;
+    } else if (v != first) {
+      varied = true;
+    }
+    sum += v;
+  }
+  EXPECT_TRUE(varied);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(LossMetric, ZeroLossGivesOnlyTiebreak) {
+  const net::MatrixUnderlay u = testutil::line_underlay({0.0, 10.0});
+  LossMetric m(/*probes=*/10, /*spacing=*/0.01, /*tiebreak=*/1e-3);
+  util::Rng rng(3);
+  EXPECT_DOUBLE_EQ(m.measure(u, 0, 1, rng), 1e-3 * 10.0);
+}
+
+TEST(LossMetric, HigherLossMeansLargerDistanceOnAverage) {
+  const net::MatrixUnderlay low = lossy_pair(0.05);
+  const net::MatrixUnderlay high = lossy_pair(0.30);
+  LossMetric m(20);
+  util::Rng rng(4);
+  double sum_low = 0.0, sum_high = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    sum_low += m.measure(low, 0, 1, rng);
+    sum_high += m.measure(high, 0, 1, rng);
+  }
+  EXPECT_LT(sum_low, sum_high);
+}
+
+TEST(LossMetric, MessageAndTimeCosts) {
+  const net::MatrixUnderlay u = lossy_pair(0.1);
+  LossMetric m(/*probes=*/20, /*spacing=*/0.01);
+  EXPECT_EQ(m.messages_per_measurement(), 40);
+  // 19 spacings + one RTT (0.020 s).
+  EXPECT_NEAR(m.measurement_time(u, 0, 1), 0.19 + 0.020, 1e-12);
+}
+
+TEST(LossMetric, LossMeasurementSlowerThanDelayMeasurement) {
+  // The trade-off the paper highlights: "measuring loss rate takes long
+  // time compared to delay" (§6.2).
+  const net::MatrixUnderlay u = lossy_pair(0.1);
+  DelayMetric d;
+  LossMetric l;
+  EXPECT_GT(l.measurement_time(u, 0, 1), d.measurement_time(u, 0, 1));
+  EXPECT_GT(l.messages_per_measurement(), d.messages_per_measurement());
+}
+
+TEST(LossMetric, FiniteEvenAtExtremeLoss) {
+  const net::MatrixUnderlay u = lossy_pair(0.99);
+  LossMetric m(20);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double v = m.measure(u, 0, 1, rng);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(BlendMetric, PureDelayWeightTracksDelay) {
+  const net::MatrixUnderlay u = testutil::line_underlay({0.0, 10.0, 20.0});
+  BlendMetric m(1.0, 0.0);
+  util::Rng rng(6);
+  const double d01 = m.measure(u, 0, 1, rng);
+  const double d02 = m.measure(u, 0, 2, rng);
+  EXPECT_NEAR(d02 / d01, 2.0, 1e-9);
+  EXPECT_EQ(m.messages_per_measurement(), 2);
+}
+
+TEST(BlendMetric, LossWeightIncreasesDistanceOfLossyPath) {
+  // Two pairs with identical delay, different loss: the blend must rank the
+  // lossy one farther.
+  const net::MatrixUnderlay clean = lossy_pair(0.0);
+  const net::MatrixUnderlay dirty = lossy_pair(0.3);
+  BlendMetric m(0.5, 0.5);
+  util::Rng rng(7);
+  double sum_clean = 0.0, sum_dirty = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    sum_clean += m.measure(clean, 0, 1, rng);
+    sum_dirty += m.measure(dirty, 0, 1, rng);
+  }
+  EXPECT_LT(sum_clean, sum_dirty);
+}
+
+TEST(BlendMetric, RejectsInvalidWeights) {
+  EXPECT_THROW(BlendMetric(-1.0, 0.5), util::InvariantError);
+  EXPECT_THROW(BlendMetric(0.0, 0.0), util::InvariantError);
+}
+
+TEST(BlendMetric, TimeIsMaxOfComponents) {
+  const net::MatrixUnderlay u = lossy_pair(0.1);
+  BlendMetric m(0.5, 0.5, /*probes=*/20, /*spacing=*/0.01);
+  EXPECT_NEAR(m.measurement_time(u, 0, 1), 0.19 + 0.020, 1e-12);
+}
+
+TEST(MetricProviders, NamesAreDistinct) {
+  DelayMetric d;
+  LossMetric l;
+  BlendMetric b(0.5, 0.5);
+  EXPECT_EQ(d.name(), "delay");
+  EXPECT_EQ(l.name(), "loss");
+  EXPECT_EQ(b.name(), "blend");
+}
+
+}  // namespace
+}  // namespace vdm::overlay

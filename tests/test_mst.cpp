@@ -1,0 +1,186 @@
+#include "topology/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::topo {
+namespace {
+
+/// Metric from an explicit symmetric table.
+HostMetric table_metric(std::map<std::pair<net::HostId, net::HostId>, double> table) {
+  return [table = std::move(table)](net::HostId a, net::HostId b) {
+    const auto it = table.find({std::min(a, b), std::max(a, b)});
+    VDM_REQUIRE(it != table.end());
+    return it->second;
+  };
+}
+
+TEST(PrimMst, SingleNode) {
+  const SpanningTree t = prim_mst({7}, 7, [](auto, auto) { return 1.0; });
+  EXPECT_EQ(t.root, 7u);
+  EXPECT_DOUBLE_EQ(t.total_cost, 0.0);
+  EXPECT_EQ(t.parent[0], net::kInvalidHost);
+}
+
+TEST(PrimMst, KnownTriangle) {
+  // 0-1: 1, 0-2: 3, 1-2: 1.5 -> MST = {0-1, 1-2} cost 2.5.
+  const auto m = table_metric({{{0, 1}, 1.0}, {{0, 2}, 3.0}, {{1, 2}, 1.5}});
+  const SpanningTree t = prim_mst({0, 1, 2}, 0, m);
+  EXPECT_DOUBLE_EQ(t.total_cost, 2.5);
+  EXPECT_EQ(t.parent[1], 0u);  // member index 1 (host 1) hangs off index 0
+  EXPECT_EQ(t.parent[2], 1u);  // host 2 hangs off host 1
+}
+
+TEST(PrimMst, RootChoiceDoesNotChangeCost) {
+  util::Rng rng(1);
+  std::map<std::pair<net::HostId, net::HostId>, double> table;
+  const std::vector<net::HostId> members{0, 1, 2, 3, 4, 5};
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      table[{members[a], members[b]}] = rng.uniform(1.0, 10.0);
+    }
+  }
+  const auto m = table_metric(table);
+  const double c0 = prim_mst(members, 0, m).total_cost;
+  const double c3 = prim_mst(members, 3, m).total_cost;
+  EXPECT_NEAR(c0, c3, 1e-12);
+}
+
+TEST(PrimMst, MatchesBruteForceOnSmallSets) {
+  // Exhaustive check against all spanning trees of K4 via Cayley
+  // enumeration (16 labeled trees on 4 nodes, encoded by Prüfer sequences).
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::map<std::pair<net::HostId, net::HostId>, double> table;
+    for (net::HostId a = 0; a < 4; ++a) {
+      for (net::HostId b = a + 1; b < 4; ++b) {
+        table[{a, b}] = rng.uniform(1.0, 5.0);
+      }
+    }
+    const auto m = table_metric(table);
+    double best = 1e18;
+    for (int p0 = 0; p0 < 4; ++p0) {
+      for (int p1 = 0; p1 < 4; ++p1) {
+        // Decode Prüfer sequence (p0, p1) into a labeled tree on {0,1,2,3}.
+        std::vector<int> degree(4, 1);
+        const std::array<int, 2> pruefer{p0, p1};
+        for (const int p : pruefer) ++degree[static_cast<std::size_t>(p)];
+        double cost = 0.0;
+        std::vector<int> deg = degree;
+        std::vector<std::pair<int, int>> edges;
+        std::vector<int> seq(pruefer.begin(), pruefer.end());
+        std::vector<bool> used(4, false);
+        for (const int p : seq) {
+          for (int leaf = 0; leaf < 4; ++leaf) {
+            if (deg[static_cast<std::size_t>(leaf)] == 1 && !used[static_cast<std::size_t>(leaf)]) {
+              edges.emplace_back(leaf, p);
+              used[static_cast<std::size_t>(leaf)] = true;
+              --deg[static_cast<std::size_t>(p)];
+              break;
+            }
+          }
+        }
+        std::vector<int> rest;
+        for (int v = 0; v < 4; ++v) {
+          if (!used[static_cast<std::size_t>(v)] && deg[static_cast<std::size_t>(v)] >= 1) rest.push_back(v);
+        }
+        edges.emplace_back(rest[0], rest[1]);
+        for (const auto& [a, b] : edges) {
+          cost += m(static_cast<net::HostId>(a), static_cast<net::HostId>(b));
+        }
+        best = std::min(best, cost);
+      }
+    }
+    const double prim = prim_mst({0, 1, 2, 3}, 0, m).total_cost;
+    EXPECT_NEAR(prim, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(PrimMst, RootMustBeMember) {
+  EXPECT_THROW(prim_mst({1, 2}, 9, [](auto, auto) { return 1.0; }),
+               util::InvariantError);
+}
+
+TEST(DegreeConstrainedTree, RespectsLimits) {
+  util::Rng rng(3);
+  std::map<std::pair<net::HostId, net::HostId>, double> table;
+  std::vector<net::HostId> members;
+  for (net::HostId h = 0; h < 12; ++h) members.push_back(h);
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      table[{members[a], members[b]}] = rng.uniform(1.0, 9.0);
+    }
+  }
+  const auto m = table_metric(table);
+  const std::vector<int> limits(12, 3);
+  const SpanningTree t = degree_constrained_tree(members, 0, m, limits);
+
+  std::vector<int> tree_degree(12, 0);
+  for (std::size_t i = 0; i < t.parent.size(); ++i) {
+    if (t.parent[i] == net::kInvalidHost) continue;
+    ++tree_degree[i];
+    ++tree_degree[t.parent[i]];
+  }
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_LE(tree_degree[i], 3);
+}
+
+TEST(DegreeConstrainedTree, CostAtLeastMst) {
+  util::Rng rng(4);
+  std::map<std::pair<net::HostId, net::HostId>, double> table;
+  std::vector<net::HostId> members{0, 1, 2, 3, 4, 5, 6, 7};
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      table[{members[a], members[b]}] = rng.uniform(1.0, 9.0);
+    }
+  }
+  const auto m = table_metric(table);
+  const double unconstrained = prim_mst(members, 0, m).total_cost;
+  const double constrained =
+      degree_constrained_tree(members, 0, m, std::vector<int>(8, 2)).total_cost;
+  EXPECT_GE(constrained, unconstrained - 1e-12);
+}
+
+TEST(DegreeConstrainedTree, DegreeTwoBuildsAPath) {
+  // With degree limit 2 everywhere, the tree must be a Hamiltonian path.
+  const auto m = [](net::HostId a, net::HostId b) {
+    return std::abs(static_cast<double>(a) - static_cast<double>(b));
+  };
+  const std::vector<net::HostId> members{0, 1, 2, 3, 4};
+  const SpanningTree t = degree_constrained_tree(members, 0, m, std::vector<int>(5, 2));
+  std::vector<int> deg(5, 0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (t.parent[i] == net::kInvalidHost) continue;
+    ++deg[i];
+    ++deg[t.parent[i]];
+  }
+  int leaves = 0;
+  for (const int d : deg) {
+    EXPECT_LE(d, 2);
+    if (d == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2);
+}
+
+TEST(DegreeConstrainedTree, ThrowsWhenInfeasible) {
+  // Limits of 1 everywhere cannot span 3 nodes (root attaches one child,
+  // which then has no capacity left).
+  const auto m = [](auto, auto) { return 1.0; };
+  EXPECT_THROW(degree_constrained_tree({0, 1, 2}, 0, m, {1, 1, 1}),
+               util::InvariantError);
+}
+
+TEST(TreeCost, RecomputesFromMetric) {
+  const auto m = table_metric({{{0, 1}, 2.0}, {{0, 2}, 5.0}, {{1, 2}, 1.0}});
+  const SpanningTree t = prim_mst({0, 1, 2}, 0, m);
+  EXPECT_NEAR(tree_cost(t, m), t.total_cost, 1e-12);
+}
+
+}  // namespace
+}  // namespace vdm::topo

@@ -1,0 +1,206 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace vdm::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng r(4);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng r(6);
+  EXPECT_THROW(r.uniform(1.0, 0.0), InvariantError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, UniformIntUnbiased) {
+  Rng r(10);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(r.uniform_int(0, 3))];
+  for (const int c : counts) EXPECT_NEAR(c, kN / 4, kN / 40);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(12);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(14);
+  EXPECT_THROW(r.exponential(0.0), InvariantError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(15);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng r(16);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(18);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto before = v;
+  r.shuffle(v);
+  EXPECT_NE(v, before);  // probability of identity is astronomically small
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng r(19);
+  const auto s = r.sample_indices(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (const auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng r(20);
+  const auto s = r.sample_indices(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng r(21);
+  EXPECT_THROW(r.sample_indices(5, 6), InvariantError);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(22);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsReproducible) {
+  Rng p1(23), p2(23);
+  Rng a = p1.split(5);
+  Rng b = p2.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng p1(24), p2(24);
+  (void)p1.split(1);
+  (void)p1.split(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p1.next_u64(), p2.next_u64());
+}
+
+}  // namespace
+}  // namespace vdm::util

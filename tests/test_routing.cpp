@@ -1,0 +1,173 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "topology/simple.hpp"
+#include "topology/transit_stub.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::net {
+namespace {
+
+TEST(Router, LineTopologyDistances) {
+  const Graph g = topo::make_line(5, 0.010);
+  Router r(g);
+  EXPECT_DOUBLE_EQ(r.delay(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.delay(0, 4), 0.040);
+  EXPECT_DOUBLE_EQ(r.delay(4, 0), 0.040);
+  EXPECT_DOUBLE_EQ(r.delay(1, 3), 0.020);
+}
+
+TEST(Router, LinePathLinksInOrder) {
+  const Graph g = topo::make_line(4, 0.010);
+  Router r(g);
+  const auto path = r.path(0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  // Links were added in order 0-1, 1-2, 2-3.
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+}
+
+TEST(Router, SelfPathIsEmpty) {
+  const Graph g = topo::make_line(3);
+  Router r(g);
+  EXPECT_TRUE(r.path(1, 1).empty());
+  EXPECT_EQ(r.hop_count(1, 1), 0u);
+}
+
+TEST(Router, RingTakesShorterArc) {
+  const Graph g = topo::make_ring(6, 0.010);
+  Router r(g);
+  EXPECT_DOUBLE_EQ(r.delay(0, 2), 0.020);  // not 4 hops the long way
+  EXPECT_EQ(r.hop_count(0, 2), 2u);
+  EXPECT_DOUBLE_EQ(r.delay(0, 5), 0.010);  // wrap-around link
+  EXPECT_EQ(r.hop_count(0, 5), 1u);
+}
+
+TEST(Router, PicksLowerDelayOverFewerHops) {
+  Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 2, 0.100);               // direct but slow
+  g.add_link(0, 1, 0.010);
+  g.add_link(1, 2, 0.010);               // two fast hops
+  Router r(g);
+  EXPECT_DOUBLE_EQ(r.delay(0, 2), 0.020);
+  EXPECT_EQ(r.hop_count(0, 2), 2u);
+}
+
+TEST(Router, ParallelLinksUseCheapest) {
+  Graph g;
+  g.add_nodes(2);
+  g.add_link(0, 1, 0.050);
+  const LinkId fast = g.add_link(0, 1, 0.010);
+  Router r(g);
+  EXPECT_DOUBLE_EQ(r.delay(0, 1), 0.010);
+  ASSERT_EQ(r.path(0, 1).size(), 1u);
+  EXPECT_EQ(r.path(0, 1)[0], fast);
+}
+
+TEST(Router, UnreachableIsInfinite) {
+  Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 1, 0.010);
+  Router r(g);
+  EXPECT_TRUE(std::isinf(r.delay(0, 2)));
+  EXPECT_TRUE(r.path(0, 2).empty());
+}
+
+TEST(Router, PathLossCompounds) {
+  Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 1, 0.010, 0.1);
+  g.add_link(1, 2, 0.010, 0.2);
+  Router r(g);
+  EXPECT_NEAR(r.path_loss(0, 2), 1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(r.path_loss(1, 1), 0.0);
+}
+
+TEST(Router, CacheInvalidatesOnGraphMutation) {
+  Graph g;
+  g.add_nodes(2);
+  g.add_link(0, 1, 0.050);
+  Router r(g);
+  EXPECT_DOUBLE_EQ(r.delay(0, 1), 0.050);
+  g.add_link(0, 1, 0.010);  // bump version with a faster parallel link
+  EXPECT_DOUBLE_EQ(r.delay(0, 1), 0.010);
+}
+
+TEST(Router, GridDistancesAreManhattan) {
+  const Graph g = topo::make_grid(4, 4, 0.010);
+  Router r(g);
+  // (0,0) -> (3,3): 6 hops of 10ms.
+  EXPECT_NEAR(r.delay(0, 15), 0.060, 1e-12);
+  EXPECT_EQ(r.hop_count(0, 15), 6u);
+}
+
+TEST(Router, SymmetricDistancesOnRandomTopology) {
+  util::Rng rng(42);
+  topo::TransitStubParams params;
+  params.transit_domains = 2;
+  params.routers_per_transit = 3;
+  params.stub_domains_per_transit_router = 2;
+  params.routers_per_stub = 3;
+  const auto topo = topo::make_transit_stub(params, rng);
+  Router r(topo.graph);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = a + 1; b < 10; ++b) {
+      EXPECT_NEAR(r.delay(a, b), r.delay(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(Router, TriangleInequalityHoldsForShortestPaths) {
+  util::Rng rng(7);
+  topo::TransitStubParams params;
+  params.transit_domains = 2;
+  params.routers_per_transit = 2;
+  params.stub_domains_per_transit_router = 2;
+  params.routers_per_stub = 2;
+  const auto topo = topo::make_transit_stub(params, rng);
+  Router r(topo.graph);
+  const auto n = static_cast<NodeId>(topo.graph.num_nodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      for (NodeId c = 0; c < n; ++c) {
+        EXPECT_LE(r.delay(a, c), r.delay(a, b) + r.delay(b, c) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Router, PathDelaysSumToDistance) {
+  util::Rng rng(11);
+  topo::TransitStubParams params;
+  params.transit_domains = 2;
+  params.routers_per_transit = 3;
+  params.stub_domains_per_transit_router = 1;
+  params.routers_per_stub = 4;
+  const auto topo = topo::make_transit_stub(params, rng);
+  Router r(topo.graph);
+  const auto n = static_cast<NodeId>(topo.graph.num_nodes());
+  for (NodeId a = 0; a < n; a += 3) {
+    for (NodeId b = 0; b < n; b += 5) {
+      double sum = 0.0;
+      for (const LinkId l : r.path(a, b)) sum += topo.graph.link(l).delay;
+      EXPECT_NEAR(sum, r.delay(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(Router, ClearCacheStillCorrect) {
+  const Graph g = topo::make_line(5, 0.010);
+  Router r(g);
+  EXPECT_DOUBLE_EQ(r.delay(0, 4), 0.040);
+  r.clear_cache();
+  EXPECT_DOUBLE_EQ(r.delay(0, 4), 0.040);
+}
+
+}  // namespace
+}  // namespace vdm::net

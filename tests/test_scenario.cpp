@@ -1,0 +1,196 @@
+#include "overlay/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/vdm_protocol.hpp"
+#include "helpers.hpp"
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+namespace {
+
+TEST(DegreeSpec, UniformSamplesWithinBounds) {
+  const DegreeSpec spec = DegreeSpec::uniform(2, 5);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int d = spec.sample(rng);
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 5);
+  }
+  EXPECT_DOUBLE_EQ(spec.mean(), 3.5);
+}
+
+TEST(DegreeSpec, UniformRejectsBadBounds) {
+  EXPECT_THROW(DegreeSpec::uniform(0, 3), util::InvariantError);
+  EXPECT_THROW(DegreeSpec::uniform(4, 3), util::InvariantError);
+}
+
+TEST(DegreeSpec, FractionalAverageRealized) {
+  const DegreeSpec spec = DegreeSpec::average(1.25);
+  util::Rng rng(2);
+  long sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const int d = spec.sample(rng);
+    EXPECT_TRUE(d == 1 || d == 2);
+    sum += d;
+  }
+  EXPECT_NEAR(static_cast<double>(sum) / kN, 1.25, 0.01);
+  EXPECT_DOUBLE_EQ(spec.mean(), 1.25);
+}
+
+TEST(DegreeSpec, IntegralAverageIsConstant) {
+  const DegreeSpec spec = DegreeSpec::average(3.0);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(spec.sample(rng), 3);
+}
+
+TEST(DegreeSpec, AverageBelowOneRejected) {
+  EXPECT_THROW(DegreeSpec::average(0.5), util::InvariantError);
+}
+
+// ----------------------------------------------------------- driver
+
+struct DriverFixture {
+  sim::Simulator sim;
+  net::MatrixUnderlay underlay;
+  core::VdmProtocol vdm;
+  DelayMetric metric;
+  Session session;
+
+  explicit DriverFixture(std::size_t hosts, std::uint64_t seed = 1)
+      : underlay(make_underlay(hosts)),
+        session(sim, underlay, vdm, metric, make_params(), util::Rng(seed)) {}
+
+  static net::MatrixUnderlay make_underlay(std::size_t n) {
+    // Hosts on a line, 1ms apart, so joins are fast and deterministic.
+    std::vector<double> pos(n);
+    for (std::size_t i = 0; i < n; ++i) pos[i] = 0.001 * static_cast<double>(i + 1) * 2.0;
+    pos[0] = 0.0;
+    return testutil::line_underlay(pos);
+  }
+
+  static SessionParams make_params() {
+    SessionParams sp;
+    sp.source = 0;
+    sp.chunk_rate = 1.0;
+    sp.paranoid_checks = true;
+    return sp;
+  }
+};
+
+ScenarioParams small_scenario() {
+  ScenarioParams p;
+  p.target_members = 10;
+  p.join_phase = 100.0;
+  p.total_time = 500.0;
+  p.churn_interval = 100.0;
+  p.settle_time = 20.0;
+  p.churn_rate = 0.2;
+  return p;
+}
+
+TEST(ScenarioDriver, MaintainsTargetMembership) {
+  DriverFixture f(20);
+  ScenarioDriver driver(f.session, small_scenario(), util::Rng(7));
+  std::vector<std::size_t> sizes;
+  driver.run([&](sim::Time) { sizes.push_back(driver.members_alive()); });
+  ASSERT_FALSE(sizes.empty());
+  for (const std::size_t s : sizes) EXPECT_EQ(s, 10u);
+}
+
+TEST(ScenarioDriver, MeasurementCountMatchesSlots) {
+  DriverFixture f(20);
+  const ScenarioParams p = small_scenario();
+  ScenarioDriver driver(f.session, p, util::Rng(8));
+  int measures = 0;
+  driver.run([&](sim::Time) { ++measures; });
+  // One after the join phase + one per complete churn slot:
+  // slots start at 120 and need 100 each within 500 -> 120, 220, 320, 420.
+  EXPECT_EQ(measures, 1 + 3);
+}
+
+TEST(ScenarioDriver, MeasurementsHappenAtSettledInstants) {
+  DriverFixture f(20);
+  const ScenarioParams p = small_scenario();
+  ScenarioDriver driver(f.session, p, util::Rng(9));
+  std::vector<sim::Time> at;
+  driver.run([&](sim::Time t) { at.push_back(t); });
+  ASSERT_GE(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], p.join_phase + p.settle_time);
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    EXPECT_DOUBLE_EQ(at[i] - at[i - 1], p.churn_interval);
+  }
+}
+
+TEST(ScenarioDriver, TreeStaysValidUnderChurn) {
+  DriverFixture f(25);
+  ScenarioParams p = small_scenario();
+  p.churn_rate = 0.3;
+  ScenarioDriver driver(f.session, p, util::Rng(10));
+  driver.run([&](sim::Time) {
+    f.session.tree().validate();
+    // Every alive member must be attached at measurement time.
+    for (const net::HostId h : f.session.tree().alive_members()) {
+      if (h == f.session.source()) continue;
+      EXPECT_NE(f.session.tree().member(h).parent, net::kInvalidHost);
+    }
+  });
+}
+
+TEST(ScenarioDriver, DeterministicForSameSeed) {
+  auto run_one = [] {
+    DriverFixture f(20, 5);
+    ScenarioDriver driver(f.session, small_scenario(), util::Rng(11));
+    driver.run([](sim::Time) {});
+    std::vector<net::HostId> parents;
+    for (net::HostId h = 0; h < 20; ++h) {
+      parents.push_back(f.session.tree().member(h).alive
+                            ? f.session.tree().member(h).parent
+                            : net::kInvalidHost);
+    }
+    return parents;
+  };
+  EXPECT_EQ(run_one(), run_one());
+}
+
+TEST(ScenarioDriver, BatchedJoinsMode) {
+  DriverFixture f(20);
+  ScenarioParams p;
+  p.target_members = 12;
+  p.batched_joins = true;
+  p.batch_size = 4;
+  p.churn_interval = 50.0;
+  p.settle_time = 10.0;
+  p.total_time = 400.0;
+  ScenarioDriver driver(f.session, p, util::Rng(12));
+  std::vector<std::size_t> sizes;
+  driver.run([&](sim::Time) { sizes.push_back(driver.members_alive()); });
+  ASSERT_EQ(sizes.size(), 3u);  // 12 members / 4 per batch
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 8u);
+  EXPECT_EQ(sizes[2], 12u);
+}
+
+TEST(ScenarioDriver, RejectsBadConfigs) {
+  DriverFixture f(10);
+  ScenarioParams p = small_scenario();
+  p.target_members = 10;  // == pool -> no slack for churn
+  EXPECT_THROW(ScenarioDriver(f.session, p, util::Rng(1)), util::InvariantError);
+  p.target_members = 5;
+  p.settle_time = p.churn_interval;
+  EXPECT_THROW(ScenarioDriver(f.session, p, util::Rng(1)), util::InvariantError);
+}
+
+TEST(ScenarioDriver, ZeroChurnKeepsInitialMembers) {
+  DriverFixture f(15);
+  ScenarioParams p = small_scenario();
+  p.churn_rate = 0.0;
+  ScenarioDriver driver(f.session, p, util::Rng(13));
+  driver.run([](sim::Time) {});
+  EXPECT_EQ(f.session.totals().reconnects_completed, 0u);
+  EXPECT_EQ(f.session.totals().joins_completed, 10u);
+}
+
+}  // namespace
+}  // namespace vdm::overlay

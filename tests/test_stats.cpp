@@ -1,0 +1,152 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::util {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(1);
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(OnlineStats, NumericallyStableAroundLargeOffset) {
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_critical(0.90, 1), 6.314, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 10), 1.812, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 30), 2.750, 1e-3);
+}
+
+TEST(StudentT, NormalLimitForLargeDf) {
+  EXPECT_NEAR(student_t_critical(0.90, 10000), 1.645, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 10000), 1.960, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 10000), 2.576, 1e-3);
+}
+
+TEST(StudentT, RejectsInvalidConfidence) {
+  EXPECT_THROW(student_t_critical(0.0, 5), InvariantError);
+  EXPECT_THROW(student_t_critical(1.0, 5), InvariantError);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth, 0.0);
+}
+
+TEST(Summarize, SingleSampleHasNoInterval) {
+  const Summary s = summarize({4.2});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.2);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth, 0.0);
+}
+
+TEST(Summarize, KnownCi90) {
+  // n=4, mean=5, sd=2 -> half-width = t(0.90,3) * 2/2 = 2.353.
+  const Summary s = summarize({3.0, 4.0, 6.0, 7.0}, 0.90);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(10.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci_halfwidth, 2.353 * s.stddev / 2.0, 1e-9);
+  EXPECT_LT(s.lo(), s.mean);
+  EXPECT_GT(s.hi(), s.mean);
+}
+
+TEST(Summarize, IntervalCoversTrueMeanMostOfTheTime) {
+  // Empirical coverage check: ~90% of 90% CIs should contain the true mean.
+  Rng rng(99);
+  int covered = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 10; ++i) xs.push_back(rng.normal(5.0, 1.0));
+    const Summary s = summarize(xs, 0.90);
+    if (s.lo() <= 5.0 && 5.0 <= s.hi()) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / kTrials, 0.90, 0.06);
+}
+
+TEST(Percentile, Endpoints) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 0.5), InvariantError);
+  EXPECT_THROW(percentile({1.0}, 1.5), InvariantError);
+}
+
+TEST(Summary, ToStringMentionsCount) {
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_NE(s.to_string().find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdm::util

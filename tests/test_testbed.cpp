@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/hmtp_protocol.hpp"
+#include "core/vdm_protocol.hpp"
+#include "testbed/controller.hpp"
+#include "testbed/dot_export.hpp"
+#include "testbed/node_pool.hpp"
+#include "testbed/report.hpp"
+#include "testbed/scenario_file.hpp"
+#include "util/require.hpp"
+
+namespace vdm::testbed {
+namespace {
+
+// -------------------------------------------------------------- node pool
+
+TEST(NodePool, HealthRatesRoughlyMatchParams) {
+  util::Rng rng(1);
+  PoolParams p;
+  p.num_nodes = 2000;
+  const NodePool pool = make_pool(p, topo::us_regions(), rng);
+  const FilterReport r = filter_nodes(pool);
+  EXPECT_EQ(r.total, 2000u);
+  EXPECT_NEAR(static_cast<double>(r.dropped_unresponsive) / 2000.0, 0.10, 0.03);
+  EXPECT_GT(r.usable, 1500u);
+  EXPECT_EQ(r.total, r.usable + r.dropped_unresponsive + r.dropped_no_ping_out +
+                         r.dropped_agent);
+}
+
+TEST(NodePool, UsableNodesMatchFilterCount) {
+  util::Rng rng(2);
+  PoolParams p;
+  p.num_nodes = 300;
+  const NodePool pool = make_pool(p, topo::us_regions(), rng);
+  EXPECT_EQ(pool.usable_nodes().size(), filter_nodes(pool).usable);
+}
+
+TEST(NodePool, LazyNodesHaveSlownessAboveOne) {
+  util::Rng rng(3);
+  PoolParams p;
+  p.num_nodes = 500;
+  p.frac_lazy = 1.0;  // everyone lazy
+  const NodePool pool = make_pool(p, topo::us_regions(), rng);
+  for (const NodeHealth& h : pool.health) {
+    EXPECT_GE(h.slowness, p.lazy_slowness_min);
+    EXPECT_LE(h.slowness, p.lazy_slowness_max);
+  }
+}
+
+TEST(NodePool, PerfectPoolKeepsEverything) {
+  util::Rng rng(4);
+  PoolParams p;
+  p.num_nodes = 50;
+  p.frac_unresponsive = p.frac_no_ping_out = p.frac_agent_broken = 0.0;
+  const NodePool pool = make_pool(p, topo::us_regions(), rng);
+  EXPECT_EQ(filter_nodes(pool).usable, 50u);
+}
+
+// --------------------------------------------------------- scenario files
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  for (net::HostId h = 1; h <= 30; ++h) spec.nodes.push_back(h);
+  spec.members = 10;
+  spec.join_phase = 100.0;
+  spec.total_time = 500.0;
+  spec.churn_interval = 100.0;
+  spec.churn_rate = 0.2;
+  return spec;
+}
+
+TEST(ScenarioFile, GenerateProducesWarmupThenChurn) {
+  util::Rng rng(5);
+  const Scenario sc = generate_scenario(small_spec(), rng);
+  ASSERT_FALSE(sc.events.empty());
+  EXPECT_EQ(sc.events.back().action, ScenarioEvent::Action::kTerminate);
+  std::size_t joins = 0, leaves = 0;
+  for (const ScenarioEvent& e : sc.events) {
+    if (e.action == ScenarioEvent::Action::kJoin) {
+      ++joins;
+      EXPECT_GE(e.degree_limit, 1);
+    }
+    if (e.action == ScenarioEvent::Action::kLeave) ++leaves;
+  }
+  EXPECT_EQ(joins, 10u + leaves);  // each leave paired with a join
+  EXPECT_GT(leaves, 0u);
+}
+
+TEST(ScenarioFile, EventsAreTimeOrdered) {
+  util::Rng rng(6);
+  const Scenario sc = generate_scenario(small_spec(), rng);
+  for (std::size_t i = 1; i < sc.events.size(); ++i) {
+    EXPECT_LE(sc.events[i - 1].at, sc.events[i].at);
+  }
+}
+
+TEST(ScenarioFile, NoJoinOfAlreadyJoinedNode) {
+  util::Rng rng(7);
+  const Scenario sc = generate_scenario(small_spec(), rng);
+  std::vector<char> in(64, 0);
+  for (const ScenarioEvent& e : sc.events) {
+    if (e.action == ScenarioEvent::Action::kJoin) {
+      EXPECT_FALSE(in[e.node]) << "double join of " << e.node;
+      in[e.node] = 1;
+    } else if (e.action == ScenarioEvent::Action::kLeave) {
+      EXPECT_TRUE(in[e.node]) << "leave of absent " << e.node;
+      in[e.node] = 0;
+    }
+  }
+}
+
+TEST(ScenarioFile, WriteParseRoundTrip) {
+  util::Rng rng(8);
+  const Scenario sc = generate_scenario(small_spec(), rng);
+  std::ostringstream os;
+  write_scenario(sc, os);
+  const Scenario back = parse_scenario(os.str());
+  ASSERT_EQ(back.events.size(), sc.events.size());
+  for (std::size_t i = 0; i < sc.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].action, sc.events[i].action);
+    EXPECT_EQ(back.events[i].node, sc.events[i].node);
+    EXPECT_NEAR(back.events[i].at, sc.events[i].at, 1e-4);
+    if (sc.events[i].action == ScenarioEvent::Action::kJoin) {
+      EXPECT_EQ(back.events[i].degree_limit, sc.events[i].degree_limit);
+    }
+  }
+}
+
+TEST(ScenarioFile, ParserHandlesCommentsAndBlanks) {
+  const Scenario sc = parse_scenario(
+      "# a comment\n"
+      "\n"
+      "1.5 join 3 4\n"
+      "2.0 leave 3   # trailing comment\n"
+      "9 terminate\n");
+  ASSERT_EQ(sc.events.size(), 3u);
+  EXPECT_EQ(sc.events[0].node, 3u);
+  EXPECT_EQ(sc.events[0].degree_limit, 4);
+  EXPECT_EQ(sc.events[1].action, ScenarioEvent::Action::kLeave);
+  EXPECT_DOUBLE_EQ(sc.end_time, 9.0);
+}
+
+TEST(ScenarioFile, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_scenario("1.0 explode 3\n"), util::InvariantError);
+  EXPECT_THROW(parse_scenario("1.0 join\n"), util::InvariantError);
+}
+
+TEST(ScenarioFile, NormalizeAppendsTerminate) {
+  Scenario sc;
+  sc.events.push_back({5.0, 1, ScenarioEvent::Action::kJoin, 2});
+  sc.normalize();
+  EXPECT_EQ(sc.events.back().action, ScenarioEvent::Action::kTerminate);
+  EXPECT_DOUBLE_EQ(sc.end_time, 5.0);
+}
+
+TEST(ScenarioFile, GenerateRejectsTooFewNodes) {
+  util::Rng rng(9);
+  ScenarioSpec spec = small_spec();
+  spec.members = 100;  // > pool
+  EXPECT_THROW(generate_scenario(spec, rng), util::InvariantError);
+}
+
+// -------------------------------------------------------------- controller
+
+TEST(Controller, RunsScenarioAndReports) {
+  util::Rng rng(10);
+  PoolParams pp;
+  pp.num_nodes = 40;
+  pp.frac_unresponsive = pp.frac_no_ping_out = pp.frac_agent_broken = 0.0;
+  const NodePool pool = make_pool(pp, topo::us_regions(), rng);
+
+  ScenarioSpec spec;
+  for (const net::HostId h : pool.usable_nodes()) {
+    if (h != 0) spec.nodes.push_back(h);
+  }
+  spec.members = 15;
+  spec.join_phase = 60.0;
+  spec.total_time = 300.0;
+  spec.churn_interval = 60.0;
+  spec.churn_rate = 0.1;
+  util::Rng scenario_rng(11);
+  const Scenario sc = generate_scenario(spec, scenario_rng);
+
+  sim::Simulator simulator;
+  core::VdmProtocol vdm;
+  overlay::DelayMetric metric;
+  ControllerParams cp;
+  cp.measure_interval = 60.0;
+  MainController controller(simulator, pool.topology.underlay, vdm, metric, cp,
+                            util::Rng(12));
+  const SessionReport report = controller.run(sc);
+
+  EXPECT_EQ(report.final_tree.members, 16u);
+  EXPECT_GE(report.startup_times.size(), 15u);  // warmup joins + churn joins
+  EXPECT_GT(report.totals.control_messages, 0u);
+  EXPECT_GT(report.totals.chunks_emitted, 2000u);  // 10/s for 300s
+  EXPECT_GE(report.mst_ratio, 1.0 - 1e-9);
+  EXPECT_GE(report.epochs.size(), 4u);
+  EXPECT_GE(report.loss_rate, 0.0);
+  EXPECT_LT(report.loss_rate, 0.5);
+}
+
+TEST(Controller, WorksWithHmtpToo) {
+  util::Rng rng(13);
+  PoolParams pp;
+  pp.num_nodes = 30;
+  pp.frac_unresponsive = pp.frac_no_ping_out = pp.frac_agent_broken = 0.0;
+  const NodePool pool = make_pool(pp, topo::us_regions(), rng);
+  Scenario sc;
+  for (net::HostId h = 1; h <= 10; ++h) {
+    sc.events.push_back({static_cast<double>(h), h, ScenarioEvent::Action::kJoin, 4});
+  }
+  sc.end_time = 120.0;
+  sc.normalize();
+
+  sim::Simulator simulator;
+  baselines::HmtpProtocol hmtp;
+  overlay::DelayMetric metric;
+  MainController controller(simulator, pool.topology.underlay, hmtp, metric,
+                            ControllerParams{}, util::Rng(14));
+  const SessionReport report = controller.run(sc);
+  EXPECT_EQ(report.final_tree.members, 11u);
+  EXPECT_GT(report.totals.refines_run, 0u);  // HMTP refinement timers fired
+}
+
+TEST(FlakyMetric, SlowsMeasurementsOfLazyTargets) {
+  const std::vector<double> delay{0.0, 0.010, 0.010, 0.0};
+  const net::MatrixUnderlay u(2, delay);
+  FlakyMetric flaky(std::make_unique<overlay::DelayMetric>(),
+                    /*slowness=*/{1.0, 4.0}, /*noise=*/0.0);
+  EXPECT_DOUBLE_EQ(flaky.measurement_time(u, 1, 0), 0.020);      // prompt target
+  EXPECT_DOUBLE_EQ(flaky.measurement_time(u, 0, 1), 4 * 0.020);  // lazy target
+  util::Rng rng(15);
+  EXPECT_DOUBLE_EQ(flaky.measure(u, 0, 1, rng), 0.020);  // value unchanged
+}
+
+TEST(FlakyMetric, NoiseVariesMeasurements) {
+  const std::vector<double> delay{0.0, 0.010, 0.010, 0.0};
+  const net::MatrixUnderlay u(2, delay);
+  FlakyMetric flaky(std::make_unique<overlay::DelayMetric>(), {1.0, 1.0}, 0.2);
+  util::Rng rng(16);
+  const double a = flaky.measure(u, 0, 1, rng);
+  const double b = flaky.measure(u, 0, 1, rng);
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Report, ContinentOfParsesPrefix) {
+  EXPECT_EQ(continent_of("US-West"), "US");
+  EXPECT_EQ(continent_of("EU-North"), "EU");
+  EXPECT_EQ(continent_of("Oceania"), "Oceania");
+}
+
+TEST(Report, ClusterStatsCountEdges) {
+  util::Rng rng(17);
+  topo::GeoParams gp;
+  gp.num_hosts = 6;
+  gp.regions = topo::world_regions();
+  topo::GeoTopology geo = topo::make_geo(gp, rng);
+
+  overlay::Membership tree(6);
+  for (net::HostId h = 0; h < 6; ++h) tree.activate(h, 8);
+  for (net::HostId h = 1; h < 6; ++h) tree.attach(h, 0, 1.0);
+  const ClusterStats stats = cluster_stats(tree, 0, geo);
+  EXPECT_EQ(stats.edges, 5u);
+  EXPECT_EQ(stats.intra_region + stats.cross_continent +
+                (stats.intra_continent - stats.intra_region),
+            5u);
+}
+
+TEST(Report, DotExportIsWellFormed) {
+  util::Rng rng(20);
+  topo::GeoParams gp;
+  gp.num_hosts = 5;
+  topo::GeoTopology geo = topo::make_geo(gp, rng);
+  overlay::Membership tree(5);
+  for (net::HostId h = 0; h < 5; ++h) tree.activate(h, 8);
+  tree.attach(1, 0, 1.0);
+  tree.attach(2, 1, 1.0);
+  tree.attach(3, 0, 1.0);
+  std::ostringstream os;
+  write_dot(tree, 0, geo, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n3"), std::string::npos);
+  EXPECT_EQ(dot.find("n4"), std::string::npos);  // detached host not drawn
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // source marked
+  EXPECT_NE(dot.find("ms\""), std::string::npos);          // edge delays
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Report, DotExportWithoutGeoOmitsRegions) {
+  overlay::Membership tree(3);
+  for (net::HostId h = 0; h < 3; ++h) tree.activate(h, 8);
+  tree.attach(1, 0, 1.0);
+  tree.attach(2, 1, 1.0);
+  const std::vector<double> delay{0.0, 0.01, 0.02, 0.01, 0.0, 0.01, 0.02, 0.01, 0.0};
+  const net::MatrixUnderlay u(3, delay);
+  std::ostringstream os;
+  DotOptions opts;
+  opts.edge_delays = false;
+  write_dot(tree, 0, u, os, opts);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_EQ(dot.find("ms"), std::string::npos);
+  EXPECT_EQ(dot.find("US-"), std::string::npos);
+}
+
+TEST(Report, RenderTreeShowsAllNodes) {
+  util::Rng rng(18);
+  topo::GeoParams gp;
+  gp.num_hosts = 4;
+  topo::GeoTopology geo = topo::make_geo(gp, rng);
+  overlay::Membership tree(4);
+  for (net::HostId h = 0; h < 4; ++h) tree.activate(h, 8);
+  tree.attach(1, 0, 1.0);
+  tree.attach(2, 1, 1.0);
+  tree.attach(3, 0, 1.0);
+  const std::string out = render_tree(tree, 0, geo);
+  EXPECT_NE(out.find("node 0"), std::string::npos);
+  EXPECT_NE(out.find("(source)"), std::string::npos);
+  EXPECT_NE(out.find("node 2"), std::string::npos);
+  EXPECT_NE(out.find("node 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdm::testbed

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace vdm::util {
+namespace {
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvariantError);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"h"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "v");
+  EXPECT_EQ(t.header()[0], "h");
+}
+
+// ---------------------------------------------------------------- Flags
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make_flags({"--nodes=42"});
+  EXPECT_EQ(f.get_int("nodes", 0), 42);
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make_flags({"--nodes", "17"});
+  EXPECT_EQ(f.get_int("nodes", 0), 17);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultWhenAbsent) {
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.get_int("nodes", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 2.5), 2.5);
+  EXPECT_EQ(f.get("name", "x"), "x");
+  EXPECT_FALSE(f.get_bool("quiet", false));
+}
+
+TEST(Flags, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(make_flags({"--a=TRUE"}).get_bool("a", false));
+  EXPECT_TRUE(make_flags({"--a=on"}).get_bool("a", false));
+  EXPECT_TRUE(make_flags({"--a=1"}).get_bool("a", false));
+  EXPECT_FALSE(make_flags({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(make_flags({"--a=no"}).get_bool("a", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = make_flags({"file1", "--k=v", "file2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "file1");
+  EXPECT_EQ(f.positional()[1], "file2");
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ::setenv("VDM_TEST_KNOB", "33", 1);
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.get_int("test-knob", 0), 33);
+  EXPECT_TRUE(f.has("test-knob"));
+  ::unsetenv("VDM_TEST_KNOB");
+  EXPECT_FALSE(f.has("test-knob"));
+}
+
+TEST(Flags, CommandLineBeatsEnvironment) {
+  ::setenv("VDM_PRIORITY", "1", 1);
+  const Flags f = make_flags({"--priority=2"});
+  EXPECT_EQ(f.get_int("priority", 0), 2);
+  ::unsetenv("VDM_PRIORITY");
+}
+
+// ---------------------------------------------------------------- Require
+
+TEST(Require, ThrowsWithLocation) {
+  try {
+    VDM_REQUIRE_MSG(false, "context here");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context here"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesOnTrue) {
+  EXPECT_NO_THROW(VDM_REQUIRE(1 + 1 == 2));
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(Log, LevelFiltering) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  // Must not crash or emit; nothing observable to assert beyond no-throw.
+  EXPECT_NO_THROW(VDM_INFO() << "suppressed");
+  set_log_level(old);
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace vdm::util

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "core/vdm_protocol.hpp"
+#include "helpers.hpp"
+
+namespace vdm::core {
+namespace {
+
+using testutil::Harness;
+using testutil::line_underlay;
+using testutil::rtt_underlay;
+
+TEST(VdmJoin, FirstNodeAttachesToSource) {
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0}), vdm);
+  EXPECT_EQ(h.join(1), 0u);
+  EXPECT_EQ(h.session.tree().member(0).children.size(), 1u);
+}
+
+TEST(VdmJoin, CaseIAttachesToQueriedNode) {
+  // Figure 3.8: existing child E on one side, newcomer N on the other —
+  // the source separates them, so N connects to the source.
+  // Positions: S=0, E=10, N=-5.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, -5.0}), vdm);
+  ASSERT_EQ(h.join(1), 0u);  // E
+  EXPECT_EQ(h.join(2), 0u);  // N: Case I -> source
+}
+
+TEST(VdmJoin, CaseIIIThenCaseI) {
+  // Figure 3.9: N lies beyond child C1 -> descend to C1, attach there.
+  // Positions: S=0, C1=10, N=18.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 18.0}), vdm);
+  ASSERT_EQ(h.join(1), 0u);
+  EXPECT_EQ(h.join(2), 1u);
+}
+
+TEST(VdmJoin, CaseIIIThenCaseII) {
+  // Figures 3.10/3.11: S -> C1 -> C2 chain; N is between C1 and C2, so it
+  // descends to C1 (Case III) and splices in above C2 (Case II).
+  // Positions: S=0, C1=10, C2=20, N=15.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 15.0}), vdm);
+  ASSERT_EQ(h.join(1), 0u);  // C1 under S
+  ASSERT_EQ(h.join(2), 1u);  // C2 beyond C1 (Case III at S, then attach)
+  EXPECT_EQ(h.join(3), 1u);  // N under C1...
+  EXPECT_EQ(h.parent(2), 3u);  // ...and C2 re-parented under N
+}
+
+TEST(VdmJoin, CaseIISplicesBetweenSourceAndChild) {
+  // Straight Case II at the source: S=0, E=10, N=5.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 5.0}), vdm);
+  ASSERT_EQ(h.join(1), 0u);
+  EXPECT_EQ(h.join(2), 0u);
+  EXPECT_EQ(h.parent(1), 2u);  // E now hangs off N
+}
+
+TEST(VdmJoin, CaseIIUpdatesGrandparents) {
+  // S=0 -> C1=10 -> C2=20; N=5 splices between S and C1. C1's grandparent
+  // becomes S's parent-of-N chain; C2's grandparent becomes N.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 5.0}), vdm);
+  h.join(1);
+  h.join(2);
+  ASSERT_EQ(h.join(3), 0u);
+  EXPECT_EQ(h.parent(1), 3u);
+  EXPECT_EQ(h.session.tree().member(1).grandparent, 0u);
+  EXPECT_EQ(h.session.tree().member(2).grandparent, 3u);
+}
+
+TEST(VdmJoin, ScenarioIAdoptsMultipleCaseIIChildren) {
+  // Figure 3.13: Case II holds with two children at once; the newcomer
+  // adopts both. Positions: S=0, C1=10, C2=12, N=6.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 12.0, 6.0}), vdm);
+  ASSERT_EQ(h.join(1), 0u);
+  ASSERT_EQ(h.join(2), 1u);  // C2 lands under C1 (beyond it from S)
+  // Re-build so C1 and C2 are siblings: use a fresh harness where C2 joins
+  // from a position that classifies Case I at S.
+  VdmProtocol vdm2;
+  Harness h2(line_underlay({0.0, 10.0, -12.0, 6.0}), vdm2);
+  ASSERT_EQ(h2.join(1), 0u);
+  ASSERT_EQ(h2.join(2), 0u);  // other side -> sibling of C1
+  // N=6: Case II with C1 (d_SC1 = 10 longest of {6, 4, 10}); with C2 the
+  // longest is d_NC2 = 18 -> Case I. N adopts exactly C1.
+  EXPECT_EQ(h2.join(3), 0u);
+  EXPECT_EQ(h2.parent(1), 3u);
+  EXPECT_EQ(h2.parent(2), 0u);
+}
+
+TEST(VdmJoin, ScenarioIAdoptionRespectsJoinerDegree) {
+  // Two Case II children but the newcomer has degree limit 1: it adopts
+  // only the closest; the other stays with the old parent.
+  // Explicit RTTs: S-C1 = 10, S-C2 = 11, S-N = 6, N-C1 = 4, N-C2 = 5.5,
+  // C1-C2 = 2 (irrelevant).
+  VdmProtocol vdm;
+  Harness h(rtt_underlay({{0, 10, 11, 6},
+                          {10, 0, 2, 4},
+                          {11, 2, 0, 5.5},
+                          {6, 4, 5.5, 0}}),
+            vdm);
+  // Attach C1 and C2 directly as children of S (their mutual geometry would
+  // otherwise re-route the joins).
+  h.session.tree().activate(1, 8);
+  h.session.tree().attach(1, 0, 10.0);
+  h.session.tree().activate(2, 8);
+  h.session.tree().attach(2, 0, 11.0);
+  EXPECT_EQ(h.join(3, /*degree_limit=*/1), 0u);
+  EXPECT_EQ(h.parent(1), 3u);   // closest Case II child adopted
+  EXPECT_EQ(h.parent(2), 0u);   // no capacity left for the second
+}
+
+TEST(VdmJoin, ScenarioIITwoCaseIIIPicksClosest) {
+  // Figure 3.14: Case III with two children at once; continue from the
+  // closest. Positions: S=0, C1=-10, C2=-12, N=-30 (beyond both).
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, -10.0, -12.0, -30.0}), vdm);
+  // Install C1 and C2 as siblings directly (joining them sequentially would
+  // chain them, hiding the two-Case-III situation).
+  h.session.tree().activate(1, 8);
+  h.session.tree().attach(1, 0, 10.0);
+  h.session.tree().activate(2, 8);
+  h.session.tree().attach(2, 0, 12.0);
+  // N: triple with C1 = (30, 20, 10) -> Case III; with C2 = (30, 18, 12)
+  // -> Case III as well. The closer directional child C2 wins.
+  EXPECT_EQ(h.join(3), 2u);
+}
+
+TEST(VdmJoin, ScenarioIIICaseIIIBeatsCaseII) {
+  // Figure 3.15: C1 classifies Case III, C2 classifies Case II; the paper
+  // intentionally prefers Case III ("we prefer CaseIII and continue join
+  // process from C1").
+  // RTTs: S-C1 = 10, S-C2 = 16, S-N = 14, N-C1 = 4, N-C2 = 6, C1-C2 = 12.
+  VdmProtocol vdm;
+  Harness h(rtt_underlay({{0, 10, 16, 14},
+                          {10, 0, 12, 4},
+                          {16, 12, 0, 6},
+                          {14, 4, 6, 0}}),
+            vdm);
+  h.session.tree().activate(1, 8);
+  h.session.tree().attach(1, 0, 10.0);
+  h.session.tree().activate(2, 8);
+  h.session.tree().attach(2, 0, 16.0);
+  // At S: triple (S, C1, N) = (14, 4, 10) -> d_np longest -> Case III;
+  // triple (S, C2, N) = (14, 6, 16) -> d_pc longest -> Case II.
+  // Case III wins: descend to C1 and attach there (C1 has no children).
+  EXPECT_EQ(h.join(3), 1u);
+}
+
+TEST(VdmJoin, DegreeFullFallsBackToClosestFreeChild) {
+  // Source saturated; the Case I newcomer attaches to the closest free
+  // child instead. S=0 (limit 1), C=10; N=-5 would prefer S.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, -5.0}), vdm, /*source_degree=*/1);
+  ASSERT_EQ(h.join(1), 0u);
+  EXPECT_EQ(h.join(2), 1u);  // S full -> closest (only) free child
+}
+
+TEST(VdmJoin, CaseIIWorksAtSaturatedParent) {
+  // Case II needs no free slot at the parent: the newcomer takes over the
+  // child's slot. S=0 (limit 1) -> C=10; N=5.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 5.0}), vdm, /*source_degree=*/1);
+  ASSERT_EQ(h.join(1), 0u);
+  EXPECT_EQ(h.join(2), 0u);
+  EXPECT_EQ(h.parent(1), 2u);
+  EXPECT_EQ(h.session.tree().member(0).children.size(), 1u);  // still 1
+}
+
+TEST(VdmJoin, DescendsThroughFullySaturatedLevels) {
+  // Both the source and its child are full; the search keeps descending
+  // and attaches at the first level with capacity.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, -5.0, -6.0}), vdm, /*source_degree=*/1);
+  ASSERT_EQ(h.join(1, 1), 0u);   // C1, limit 1
+  ASSERT_EQ(h.join(2, 8), 1u);   // C2 under C1 (Case III), fills C1
+  // N at -5: Case I everywhere, S full, C1 full -> ends under C2.
+  EXPECT_EQ(h.join(3, 8), 2u);
+  // Another far-side node now finds C2... still free (limit 8).
+  EXPECT_EQ(h.join(4, 8), 2u);
+}
+
+TEST(VdmJoin, ChargesMessagesAndElapsedTime) {
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0}), vdm);
+  const overlay::TimingRecord rec = h.session.join(1, 4);
+  // info exchange (2) + probe of the source (2) + connection exchange (2).
+  EXPECT_EQ(rec.messages, 6);
+  // Each of those three round trips takes one RTT = 10 time units.
+  EXPECT_DOUBLE_EQ(rec.duration, 30.0);
+  EXPECT_EQ(rec.iterations, 1);
+}
+
+TEST(VdmJoin, IterationCountGrowsWithDepth) {
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 30.0, 40.0}), vdm);
+  h.join(1);
+  h.join(2);
+  h.join(3);
+  const overlay::TimingRecord rec = h.session.join(4, 4);
+  EXPECT_EQ(rec.iterations, 4);  // walked S -> 1 -> 2 -> 3
+  EXPECT_EQ(h.parent(4), 3u);
+}
+
+TEST(VdmJoin, ChainTopologyBuildsChainTree) {
+  // Nodes joining along a line in order must produce the line itself —
+  // the minimal-stress embedding.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 30.0, 40.0, 50.0}), vdm);
+  for (net::HostId n = 1; n <= 5; ++n) EXPECT_EQ(h.join(n), n - 1);
+}
+
+TEST(VdmJoin, ChainBuiltRegardlessOfJoinOrder) {
+  // Even joining in scrambled order, the 1-D geometry forces the chain.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 30.0, 40.0}), vdm);
+  h.join(3);  // position 30
+  h.join(1);  // position 10 -> splices between S and 3
+  h.join(4);  // position 40 -> beyond 3
+  h.join(2);  // position 20 -> between 1 and 3
+  EXPECT_EQ(h.parent(1), 0u);
+  EXPECT_EQ(h.parent(2), 1u);
+  EXPECT_EQ(h.parent(3), 2u);
+  EXPECT_EQ(h.parent(4), 3u);
+}
+
+TEST(VdmJoin, DeterministicForSameSeed) {
+  auto build = [] {
+    VdmProtocol vdm;
+    Harness h(line_underlay({0.0, 13.0, 7.0, 29.0, 3.0, 21.0, 17.0}), vdm, 3, 99);
+    for (net::HostId n = 1; n < 7; ++n) h.join(n, 2);
+    std::vector<net::HostId> parents;
+    for (net::HostId n = 1; n < 7; ++n) parents.push_back(h.parent(n));
+    return parents;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace vdm::core
