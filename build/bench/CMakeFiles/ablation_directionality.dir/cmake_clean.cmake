@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_directionality.dir/ablation_directionality.cpp.o"
+  "CMakeFiles/ablation_directionality.dir/ablation_directionality.cpp.o.d"
+  "ablation_directionality"
+  "ablation_directionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_directionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

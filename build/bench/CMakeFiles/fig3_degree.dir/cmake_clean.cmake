@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_degree.dir/fig3_degree.cpp.o"
+  "CMakeFiles/fig3_degree.dir/fig3_degree.cpp.o.d"
+  "fig3_degree"
+  "fig3_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

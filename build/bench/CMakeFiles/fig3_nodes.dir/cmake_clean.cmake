@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nodes.dir/fig3_nodes.cpp.o"
+  "CMakeFiles/fig3_nodes.dir/fig3_nodes.cpp.o.d"
+  "fig3_nodes"
+  "fig3_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vdmd_vdml.dir/fig4_vdmd_vdml.cpp.o"
+  "CMakeFiles/fig4_vdmd_vdml.dir/fig4_vdmd_vdml.cpp.o.d"
+  "fig4_vdmd_vdml"
+  "fig4_vdmd_vdml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vdmd_vdml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

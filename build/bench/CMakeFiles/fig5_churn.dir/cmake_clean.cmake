@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_churn.dir/fig5_churn.cpp.o"
+  "CMakeFiles/fig5_churn.dir/fig5_churn.cpp.o.d"
+  "fig5_churn"
+  "fig5_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_degree.dir/fig5_degree.cpp.o"
+  "CMakeFiles/fig5_degree.dir/fig5_degree.cpp.o.d"
+  "fig5_degree"
+  "fig5_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_refinement.dir/fig5_refinement.cpp.o"
+  "CMakeFiles/fig5_refinement.dir/fig5_refinement.cpp.o.d"
+  "fig5_refinement"
+  "fig5_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

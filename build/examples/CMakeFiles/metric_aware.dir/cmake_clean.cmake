@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_aware.dir/metric_aware.cpp.o"
+  "CMakeFiles/metric_aware.dir/metric_aware.cpp.o.d"
+  "metric_aware"
+  "metric_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

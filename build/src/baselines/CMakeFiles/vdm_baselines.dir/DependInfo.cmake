@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/btp_protocol.cpp" "src/baselines/CMakeFiles/vdm_baselines.dir/btp_protocol.cpp.o" "gcc" "src/baselines/CMakeFiles/vdm_baselines.dir/btp_protocol.cpp.o.d"
+  "/root/repo/src/baselines/hmtp_protocol.cpp" "src/baselines/CMakeFiles/vdm_baselines.dir/hmtp_protocol.cpp.o" "gcc" "src/baselines/CMakeFiles/vdm_baselines.dir/hmtp_protocol.cpp.o.d"
+  "/root/repo/src/baselines/mst_overlay.cpp" "src/baselines/CMakeFiles/vdm_baselines.dir/mst_overlay.cpp.o" "gcc" "src/baselines/CMakeFiles/vdm_baselines.dir/mst_overlay.cpp.o.d"
+  "/root/repo/src/baselines/random_protocol.cpp" "src/baselines/CMakeFiles/vdm_baselines.dir/random_protocol.cpp.o" "gcc" "src/baselines/CMakeFiles/vdm_baselines.dir/random_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/vdm_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vdm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

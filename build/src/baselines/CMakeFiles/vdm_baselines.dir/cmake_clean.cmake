@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_baselines.dir/btp_protocol.cpp.o"
+  "CMakeFiles/vdm_baselines.dir/btp_protocol.cpp.o.d"
+  "CMakeFiles/vdm_baselines.dir/hmtp_protocol.cpp.o"
+  "CMakeFiles/vdm_baselines.dir/hmtp_protocol.cpp.o.d"
+  "CMakeFiles/vdm_baselines.dir/mst_overlay.cpp.o"
+  "CMakeFiles/vdm_baselines.dir/mst_overlay.cpp.o.d"
+  "CMakeFiles/vdm_baselines.dir/random_protocol.cpp.o"
+  "CMakeFiles/vdm_baselines.dir/random_protocol.cpp.o.d"
+  "libvdm_baselines.a"
+  "libvdm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vdm_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_core.dir/directionality.cpp.o"
+  "CMakeFiles/vdm_core.dir/directionality.cpp.o.d"
+  "CMakeFiles/vdm_core.dir/vdm_protocol.cpp.o"
+  "CMakeFiles/vdm_core.dir/vdm_protocol.cpp.o.d"
+  "libvdm_core.a"
+  "libvdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_experiments.dir/runner.cpp.o"
+  "CMakeFiles/vdm_experiments.dir/runner.cpp.o.d"
+  "libvdm_experiments.a"
+  "libvdm_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/vdm_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/vdm_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/tree_metrics.cpp" "src/metrics/CMakeFiles/vdm_metrics.dir/tree_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/vdm_metrics.dir/tree_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/vdm_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_metrics.dir/collector.cpp.o"
+  "CMakeFiles/vdm_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/vdm_metrics.dir/tree_metrics.cpp.o"
+  "CMakeFiles/vdm_metrics.dir/tree_metrics.cpp.o.d"
+  "libvdm_metrics.a"
+  "libvdm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

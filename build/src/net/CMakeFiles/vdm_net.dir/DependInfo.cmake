@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/vdm_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/vdm_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/graph_underlay.cpp" "src/net/CMakeFiles/vdm_net.dir/graph_underlay.cpp.o" "gcc" "src/net/CMakeFiles/vdm_net.dir/graph_underlay.cpp.o.d"
+  "/root/repo/src/net/matrix_underlay.cpp" "src/net/CMakeFiles/vdm_net.dir/matrix_underlay.cpp.o" "gcc" "src/net/CMakeFiles/vdm_net.dir/matrix_underlay.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/vdm_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/vdm_net.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

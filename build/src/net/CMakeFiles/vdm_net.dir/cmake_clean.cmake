@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_net.dir/graph.cpp.o"
+  "CMakeFiles/vdm_net.dir/graph.cpp.o.d"
+  "CMakeFiles/vdm_net.dir/graph_underlay.cpp.o"
+  "CMakeFiles/vdm_net.dir/graph_underlay.cpp.o.d"
+  "CMakeFiles/vdm_net.dir/matrix_underlay.cpp.o"
+  "CMakeFiles/vdm_net.dir/matrix_underlay.cpp.o.d"
+  "CMakeFiles/vdm_net.dir/routing.cpp.o"
+  "CMakeFiles/vdm_net.dir/routing.cpp.o.d"
+  "libvdm_net.a"
+  "libvdm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

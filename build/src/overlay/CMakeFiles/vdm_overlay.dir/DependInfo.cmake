@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/membership.cpp" "src/overlay/CMakeFiles/vdm_overlay.dir/membership.cpp.o" "gcc" "src/overlay/CMakeFiles/vdm_overlay.dir/membership.cpp.o.d"
+  "/root/repo/src/overlay/metric.cpp" "src/overlay/CMakeFiles/vdm_overlay.dir/metric.cpp.o" "gcc" "src/overlay/CMakeFiles/vdm_overlay.dir/metric.cpp.o.d"
+  "/root/repo/src/overlay/scenario.cpp" "src/overlay/CMakeFiles/vdm_overlay.dir/scenario.cpp.o" "gcc" "src/overlay/CMakeFiles/vdm_overlay.dir/scenario.cpp.o.d"
+  "/root/repo/src/overlay/session.cpp" "src/overlay/CMakeFiles/vdm_overlay.dir/session.cpp.o" "gcc" "src/overlay/CMakeFiles/vdm_overlay.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

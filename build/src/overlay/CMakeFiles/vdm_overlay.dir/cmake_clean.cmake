@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_overlay.dir/membership.cpp.o"
+  "CMakeFiles/vdm_overlay.dir/membership.cpp.o.d"
+  "CMakeFiles/vdm_overlay.dir/metric.cpp.o"
+  "CMakeFiles/vdm_overlay.dir/metric.cpp.o.d"
+  "CMakeFiles/vdm_overlay.dir/scenario.cpp.o"
+  "CMakeFiles/vdm_overlay.dir/scenario.cpp.o.d"
+  "CMakeFiles/vdm_overlay.dir/session.cpp.o"
+  "CMakeFiles/vdm_overlay.dir/session.cpp.o.d"
+  "libvdm_overlay.a"
+  "libvdm_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vdm_sim.dir/simulator.cpp.o.d"
+  "libvdm_sim.a"
+  "libvdm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

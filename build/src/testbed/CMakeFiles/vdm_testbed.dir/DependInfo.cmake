@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/controller.cpp" "src/testbed/CMakeFiles/vdm_testbed.dir/controller.cpp.o" "gcc" "src/testbed/CMakeFiles/vdm_testbed.dir/controller.cpp.o.d"
+  "/root/repo/src/testbed/dot_export.cpp" "src/testbed/CMakeFiles/vdm_testbed.dir/dot_export.cpp.o" "gcc" "src/testbed/CMakeFiles/vdm_testbed.dir/dot_export.cpp.o.d"
+  "/root/repo/src/testbed/node_pool.cpp" "src/testbed/CMakeFiles/vdm_testbed.dir/node_pool.cpp.o" "gcc" "src/testbed/CMakeFiles/vdm_testbed.dir/node_pool.cpp.o.d"
+  "/root/repo/src/testbed/report.cpp" "src/testbed/CMakeFiles/vdm_testbed.dir/report.cpp.o" "gcc" "src/testbed/CMakeFiles/vdm_testbed.dir/report.cpp.o.d"
+  "/root/repo/src/testbed/scenario_file.cpp" "src/testbed/CMakeFiles/vdm_testbed.dir/scenario_file.cpp.o" "gcc" "src/testbed/CMakeFiles/vdm_testbed.dir/scenario_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/vdm_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vdm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vdm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vdm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

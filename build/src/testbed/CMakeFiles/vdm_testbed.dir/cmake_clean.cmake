@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_testbed.dir/controller.cpp.o"
+  "CMakeFiles/vdm_testbed.dir/controller.cpp.o.d"
+  "CMakeFiles/vdm_testbed.dir/dot_export.cpp.o"
+  "CMakeFiles/vdm_testbed.dir/dot_export.cpp.o.d"
+  "CMakeFiles/vdm_testbed.dir/node_pool.cpp.o"
+  "CMakeFiles/vdm_testbed.dir/node_pool.cpp.o.d"
+  "CMakeFiles/vdm_testbed.dir/report.cpp.o"
+  "CMakeFiles/vdm_testbed.dir/report.cpp.o.d"
+  "CMakeFiles/vdm_testbed.dir/scenario_file.cpp.o"
+  "CMakeFiles/vdm_testbed.dir/scenario_file.cpp.o.d"
+  "libvdm_testbed.a"
+  "libvdm_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/geo.cpp" "src/topology/CMakeFiles/vdm_topology.dir/geo.cpp.o" "gcc" "src/topology/CMakeFiles/vdm_topology.dir/geo.cpp.o.d"
+  "/root/repo/src/topology/mst.cpp" "src/topology/CMakeFiles/vdm_topology.dir/mst.cpp.o" "gcc" "src/topology/CMakeFiles/vdm_topology.dir/mst.cpp.o.d"
+  "/root/repo/src/topology/simple.cpp" "src/topology/CMakeFiles/vdm_topology.dir/simple.cpp.o" "gcc" "src/topology/CMakeFiles/vdm_topology.dir/simple.cpp.o.d"
+  "/root/repo/src/topology/transit_stub.cpp" "src/topology/CMakeFiles/vdm_topology.dir/transit_stub.cpp.o" "gcc" "src/topology/CMakeFiles/vdm_topology.dir/transit_stub.cpp.o.d"
+  "/root/repo/src/topology/waxman.cpp" "src/topology/CMakeFiles/vdm_topology.dir/waxman.cpp.o" "gcc" "src/topology/CMakeFiles/vdm_topology.dir/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_topology.dir/geo.cpp.o"
+  "CMakeFiles/vdm_topology.dir/geo.cpp.o.d"
+  "CMakeFiles/vdm_topology.dir/mst.cpp.o"
+  "CMakeFiles/vdm_topology.dir/mst.cpp.o.d"
+  "CMakeFiles/vdm_topology.dir/simple.cpp.o"
+  "CMakeFiles/vdm_topology.dir/simple.cpp.o.d"
+  "CMakeFiles/vdm_topology.dir/transit_stub.cpp.o"
+  "CMakeFiles/vdm_topology.dir/transit_stub.cpp.o.d"
+  "CMakeFiles/vdm_topology.dir/waxman.cpp.o"
+  "CMakeFiles/vdm_topology.dir/waxman.cpp.o.d"
+  "libvdm_topology.a"
+  "libvdm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

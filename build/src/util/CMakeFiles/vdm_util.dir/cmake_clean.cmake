@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_util.dir/flags.cpp.o"
+  "CMakeFiles/vdm_util.dir/flags.cpp.o.d"
+  "CMakeFiles/vdm_util.dir/log.cpp.o"
+  "CMakeFiles/vdm_util.dir/log.cpp.o.d"
+  "CMakeFiles/vdm_util.dir/rng.cpp.o"
+  "CMakeFiles/vdm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vdm_util.dir/stats.cpp.o"
+  "CMakeFiles/vdm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vdm_util.dir/table.cpp.o"
+  "CMakeFiles/vdm_util.dir/table.cpp.o.d"
+  "libvdm_util.a"
+  "libvdm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

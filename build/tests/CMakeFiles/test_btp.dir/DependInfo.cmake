@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_btp.cpp" "tests/CMakeFiles/test_btp.dir/test_btp.cpp.o" "gcc" "tests/CMakeFiles/test_btp.dir/test_btp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/vdm_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/vdm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vdm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vdm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vdm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/vdm_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btp.dir/test_btp.cpp.o"
+  "CMakeFiles/test_btp.dir/test_btp.cpp.o.d"
+  "test_btp"
+  "test_btp.pdb"
+  "test_btp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directionality.dir/test_directionality.cpp.o"
+  "CMakeFiles/test_directionality.dir/test_directionality.cpp.o.d"
+  "test_directionality"
+  "test_directionality.pdb"
+  "test_directionality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmtp.dir/test_hmtp.cpp.o"
+  "CMakeFiles/test_hmtp.dir/test_hmtp.cpp.o.d"
+  "test_hmtp"
+  "test_hmtp.pdb"
+  "test_hmtp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metric_providers.dir/test_metric_providers.cpp.o"
+  "CMakeFiles/test_metric_providers.dir/test_metric_providers.cpp.o.d"
+  "test_metric_providers"
+  "test_metric_providers.pdb"
+  "test_metric_providers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metric_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_metrics.dir/test_tree_metrics.cpp.o"
+  "CMakeFiles/test_tree_metrics.dir/test_tree_metrics.cpp.o.d"
+  "test_tree_metrics"
+  "test_tree_metrics.pdb"
+  "test_tree_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

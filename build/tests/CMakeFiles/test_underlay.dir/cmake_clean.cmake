@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_underlay.dir/test_underlay.cpp.o"
+  "CMakeFiles/test_underlay.dir/test_underlay.cpp.o.d"
+  "test_underlay"
+  "test_underlay.pdb"
+  "test_underlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_underlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

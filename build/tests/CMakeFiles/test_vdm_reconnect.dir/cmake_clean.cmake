@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdm_reconnect.dir/test_vdm_reconnect.cpp.o"
+  "CMakeFiles/test_vdm_reconnect.dir/test_vdm_reconnect.cpp.o.d"
+  "test_vdm_reconnect"
+  "test_vdm_reconnect.pdb"
+  "test_vdm_reconnect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdm_reconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_vdm_reconnect.
+# This may be replaced when dependencies are built.

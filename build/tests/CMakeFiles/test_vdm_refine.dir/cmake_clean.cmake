@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdm_refine.dir/test_vdm_refine.cpp.o"
+  "CMakeFiles/test_vdm_refine.dir/test_vdm_refine.cpp.o.d"
+  "test_vdm_refine"
+  "test_vdm_refine.pdb"
+  "test_vdm_refine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdm_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_underlay[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_mst[1]_include.cmake")
+include("/root/repo/build/tests/test_membership[1]_include.cmake")
+include("/root/repo/build/tests/test_directionality[1]_include.cmake")
+include("/root/repo/build/tests/test_metric_providers[1]_include.cmake")
+include("/root/repo/build/tests/test_vdm_join[1]_include.cmake")
+include("/root/repo/build/tests/test_vdm_reconnect[1]_include.cmake")
+include("/root/repo/build/tests/test_vdm_refine[1]_include.cmake")
+include("/root/repo/build/tests/test_hmtp[1]_include.cmake")
+include("/root/repo/build/tests/test_btp[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_collector[1]_include.cmake")
+include("/root/repo/build/tests/test_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

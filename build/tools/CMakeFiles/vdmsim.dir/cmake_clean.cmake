@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdmsim.dir/vdmsim.cpp.o"
+  "CMakeFiles/vdmsim.dir/vdmsim.cpp.o.d"
+  "vdmsim"
+  "vdmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
