@@ -1,0 +1,151 @@
+// End-to-end performance baseline: full run_once simulations at several
+// overlay sizes plus a measure_tree micro-benchmark with a heap-allocation
+// counter. This binary is the repo's perf trajectory anchor — run it via
+//
+//   ./build/bench/bench_e2e | ./build/tools/bench_to_json --label <label>
+//
+// and compare against the checked-in BENCH_e2e.json (see README "Performance").
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "experiments/runner.hpp"
+#include "metrics/tree_metrics.hpp"
+#include "net/graph_underlay.hpp"
+#include "overlay/membership.hpp"
+#include "topology/transit_stub.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------- allocation
+// Global-new instrumentation so the measure_tree micro can assert "zero heap
+// allocations in steady state" instead of hand-waving it.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// aligned_alloc/malloc memory is interchangeable under free(); GCC's
+// heuristic cannot see that across the replaced operator set.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace vdm {
+namespace {
+
+// ----------------------------------------------------------------- e2e runs
+
+/// One complete paper-style experiment seed: build transit-stub substrate,
+/// run the join/churn/measure timeline, aggregate epoch metrics.
+void BM_RunOnceTransitStub(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kTransitStub;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 7;  // fixed seed: identical work every iteration and every run
+  for (auto _ : state) {
+    experiments::RunResult r = experiments::run_once(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RunOnceTransitStub)
+    ->Arg(64)
+    ->Arg(200)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------- micro bench
+
+struct TreeFixture {
+  net::GraphUnderlay underlay;
+  overlay::Membership tree;
+
+  explicit TreeFixture(std::size_t members)
+      : underlay(make_underlay(members)), tree(underlay.num_hosts()) {
+    // Deterministic ternary tree over the first `members` hosts, host 0 as
+    // the source; degree limit 4 leaves headroom like the paper's 2..5 range.
+    for (net::HostId h = 0; h < members; ++h) tree.activate(h, 4);
+    for (net::HostId h = 1; h < members; ++h) {
+      const net::HostId parent = (h - 1) / 3;
+      tree.attach(h, parent, underlay.rtt(parent, h));
+    }
+  }
+
+  static net::GraphUnderlay make_underlay(std::size_t members) {
+    util::Rng rng(42);
+    topo::TransitStubParams tp;  // paper-size core: 792 routers
+    topo::HostAttachment hp;
+    hp.num_hosts = members;
+    return topo::make_transit_stub_underlay(tp, hp, rng);
+  }
+};
+
+/// measure_tree the way Collector::capture runs it: reusable scratch, warm
+/// caches. allocs_per_iter must be exactly 0 — that is the zero-allocation
+/// acceptance gate of the fast path.
+void BM_MeasureTreeScratch(benchmark::State& state) {
+  TreeFixture fx(static_cast<std::size_t>(state.range(0)));
+  metrics::TreeMetricsScratch scratch;
+  benchmark::DoNotOptimize(metrics::measure_tree(fx.tree, 0, fx.underlay, scratch));
+
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    metrics::TreeMetrics m = metrics::measure_tree(fx.tree, 0, fx.underlay, scratch);
+    benchmark::DoNotOptimize(m);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MeasureTreeScratch)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+/// measure_tree via the convenience overload (per-call scratch).
+void BM_MeasureTree(benchmark::State& state) {
+  TreeFixture fx(static_cast<std::size_t>(state.range(0)));
+  // Warm every routing/pair cache so the loop measures steady state.
+  benchmark::DoNotOptimize(metrics::measure_tree(fx.tree, 0, fx.underlay));
+
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    metrics::TreeMetrics m = metrics::measure_tree(fx.tree, 0, fx.underlay);
+    benchmark::DoNotOptimize(m);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MeasureTree)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vdm
+
+BENCHMARK_MAIN();

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "baselines/btp_protocol.hpp"
@@ -215,19 +217,33 @@ AggregateResult run_many(const RunConfig& config, std::size_t num_seeds,
 
   std::vector<RunResult> runs(num_seeds);
   std::atomic<std::size_t> next{0};
+  // An exception escaping a worker thread would call std::terminate; keep
+  // the first one and rethrow it on the calling thread after join().
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= num_seeds) return;
-      RunConfig cfg = config;
-      cfg.seed = config.seed + i;
-      runs[i] = run_once(cfg);
+      try {
+        RunConfig cfg = config;
+        cfg.seed = config.seed + i;
+        runs[i] = run_once(cfg);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        next.store(num_seeds);  // drain remaining work; results are moot
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 
   auto summarize_field = [&](double RunResult::* field) {
     std::vector<double> v;

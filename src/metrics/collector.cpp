@@ -8,7 +8,7 @@ void Collector::capture(sim::Time at) {
   overlay::Session& s = *session_;
   EpochSample e;
   e.at = at;
-  e.tree = measure_tree(s.tree(), s.source(), s.underlay());
+  e.tree = measure_tree(s.tree(), s.source(), s.underlay(), scratch_);
 
   const overlay::Session::Counters& w = s.window();
   e.control_messages = w.control_messages;

@@ -61,6 +61,9 @@ class Collector {
  private:
   overlay::Session* session_;
   std::vector<EpochSample> samples_;
+  /// Reused across captures so measure_tree stays allocation-free in
+  /// steady state (the hot loop of every run_once epoch sweep).
+  TreeMetricsScratch scratch_;
 };
 
 }  // namespace vdm::metrics

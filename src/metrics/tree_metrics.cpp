@@ -1,8 +1,6 @@
 #include "metrics/tree_metrics.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <unordered_map>
 
 #include "util/require.hpp"
 #include "util/stats.hpp"
@@ -10,41 +8,60 @@
 namespace vdm::metrics {
 
 TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
-                         const net::Underlay& underlay) {
+                         const net::Underlay& underlay,
+                         TreeMetricsScratch& scratch) {
   TreeMetrics out;
-  const std::vector<net::HostId> alive = tree.alive_members();
-  out.members = alive.size();
+  const std::size_t num_hosts = tree.num_hosts();
+  for (net::HostId h = 0; h < num_hosts; ++h) {
+    if (tree.member(h).alive) ++out.members;
+  }
   if (!tree.member(source).alive) return out;
 
+  // Size the flat arrays once; capacity persists across captures. The new
+  // epoch invalidates every per-link counter in O(1).
+  ++scratch.epoch;
+  if (scratch.link_count.size() < underlay.num_links()) {
+    scratch.link_count.resize(underlay.num_links(), 0);
+    scratch.link_epoch.resize(underlay.num_links(), 0);
+  }
+  if (scratch.overlay_delay.size() < num_hosts) {
+    scratch.overlay_delay.resize(num_hosts, 0.0);
+  }
+  scratch.links_touched.clear();
+  scratch.order.clear();
+
   // Per-physical-link traversal counts over all overlay edges -> stress.
-  std::unordered_map<net::LinkId, std::size_t> link_count;
   std::size_t traversals = 0;
+  const auto count_link = [&](net::LinkId l) {
+    if (scratch.link_epoch[l] != scratch.epoch) {
+      scratch.link_epoch[l] = scratch.epoch;
+      scratch.link_count[l] = 1;
+      scratch.links_touched.push_back(l);
+    } else {
+      ++scratch.link_count[l];
+    }
+    ++traversals;
+  };
 
-  util::OnlineStats stretch_all, stretch_leaf, hops_all, hops_leaf;
-  // Overlay delay from the source, computed top-down in one pass.
-  std::unordered_map<net::HostId, double> overlay_delay;
-  overlay_delay[source] = 0.0;
-
-  // BFS down the tree from the source.
-  std::vector<net::HostId> queue{source};
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    const net::HostId p = queue[i];
+  // BFS down the tree from the source; overlay delay accumulates top-down.
+  scratch.overlay_delay[source] = 0.0;
+  scratch.order.push_back(source);
+  for (std::size_t i = 0; i < scratch.order.size(); ++i) {
+    const net::HostId p = scratch.order[i];
     for (const net::HostId c : tree.member(p).children) {
       const double edge_delay = underlay.delay(p, c);
-      overlay_delay[c] = overlay_delay[p] + edge_delay;
+      scratch.overlay_delay[c] = scratch.overlay_delay[p] + edge_delay;
       out.network_usage += edge_delay;
-      for (const net::LinkId l : underlay.path(p, c)) {
-        ++link_count[l];
-        ++traversals;
-      }
-      queue.push_back(c);
+      underlay.for_each_path_link(p, c, count_link);
+      scratch.order.push_back(c);
     }
   }
 
-  for (const net::HostId h : queue) {
+  util::OnlineStats stretch_all, stretch_leaf, hops_all, hops_leaf;
+  for (const net::HostId h : scratch.order) {
     if (h == source) continue;
     const double direct = underlay.delay(source, h);
-    const double stretch = direct > 0.0 ? overlay_delay[h] / direct : 1.0;
+    const double stretch = direct > 0.0 ? scratch.overlay_delay[h] / direct : 1.0;
     const auto hops = static_cast<double>(tree.depth(h));
     stretch_all.add(stretch);
     hops_all.add(hops);
@@ -54,11 +71,14 @@ TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
     }
   }
 
-  out.links_used = link_count.size();
-  if (!link_count.empty()) {
-    std::size_t max_count = 0;
-    for (const auto& [link, count] : link_count) max_count = std::max(max_count, count);
-    out.stress_avg = static_cast<double>(traversals) / static_cast<double>(link_count.size());
+  out.links_used = scratch.links_touched.size();
+  if (!scratch.links_touched.empty()) {
+    std::uint32_t max_count = 0;
+    for (const net::LinkId l : scratch.links_touched) {
+      max_count = std::max(max_count, scratch.link_count[l]);
+    }
+    out.stress_avg = static_cast<double>(traversals) /
+                     static_cast<double>(scratch.links_touched.size());
     out.stress_max = static_cast<double>(max_count);
   }
   out.stretch_avg = stretch_all.mean();
@@ -69,6 +89,12 @@ TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
   out.hop_max = hops_all.empty() ? 0.0 : hops_all.max();
   out.hop_leaf_avg = hops_leaf.mean();
   return out;
+}
+
+TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
+                         const net::Underlay& underlay) {
+  TreeMetricsScratch scratch;
+  return measure_tree(tree, source, underlay, scratch);
 }
 
 }  // namespace vdm::metrics

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "net/underlay.hpp"
 #include "overlay/membership.hpp"
@@ -39,8 +41,29 @@ struct TreeMetrics {
   double network_usage = 0.0;
 };
 
+/// Reusable working memory for measure_tree. The per-link traversal
+/// counters are epoch-stamped flat arrays (no clearing between captures,
+/// no hashing), and every buffer keeps its capacity across calls, so a
+/// capture loop performs zero heap allocations once warmed up. One scratch
+/// serves one measurement consumer (Collector owns one); it carries no
+/// state between calls beyond capacity.
+struct TreeMetricsScratch {
+  std::vector<std::uint32_t> link_count;   // traversals per LinkId this epoch
+  std::vector<std::uint64_t> link_epoch;   // validity stamp per LinkId
+  std::vector<net::LinkId> links_touched;  // distinct links hit this epoch
+  std::vector<double> overlay_delay;       // source->host delay per HostId
+  std::vector<net::HostId> order;          // BFS visit order
+  std::uint64_t epoch = 0;
+};
+
 /// Measures the current tree. Members that are mid-reconnection (detached)
 /// are excluded from path metrics, as the paper measures settled trees.
+TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
+                         const net::Underlay& underlay,
+                         TreeMetricsScratch& scratch);
+
+/// Convenience overload with a throwaway scratch (allocates; fine for tests
+/// and one-off measurements, not for capture loops).
 TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
                          const net::Underlay& underlay);
 

@@ -40,7 +40,13 @@ class Graph {
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_links() const { return links_.size(); }
   const Link& link(LinkId id) const { return links_[id]; }
-  Link& mutable_link(LinkId id) { adjacency_dirty_ = true; return links_[id]; }
+  /// Bumps version(): the caller may change delay/loss, so routing caches
+  /// keyed to the version must treat the graph as mutated.
+  Link& mutable_link(LinkId id) {
+    adjacency_dirty_ = true;
+    ++version_;
+    return links_[id];
+  }
   const std::vector<Link>& links() const { return links_; }
 
   /// Half-edge as seen from one endpoint.

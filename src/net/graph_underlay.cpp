@@ -10,16 +10,39 @@ GraphUnderlay::GraphUnderlay(Graph graph, std::vector<NodeId> hosts)
   for (const NodeId v : hosts_) VDM_REQUIRE(v < graph_.num_nodes());
 }
 
-sim::Time GraphUnderlay::delay(HostId a, HostId b) const {
-  return router_.delay(hosts_.at(a), hosts_.at(b));
-}
-
-double GraphUnderlay::loss(HostId a, HostId b) const {
-  return router_.path_loss(hosts_.at(a), hosts_.at(b));
+const Router::PathStats& GraphUnderlay::pair(HostId a, HostId b) const {
+  VDM_REQUIRE(a < hosts_.size() && b < hosts_.size());
+  if (cached_version_ != graph_.version()) {
+    ++epoch_;  // O(1) invalidation of every cached pair
+    cached_version_ = graph_.version();
+    if (pair_stats_.empty()) {
+      const std::size_t n = hosts_.size();
+      pair_stats_.resize(n * (n - 1) / 2);
+      pair_epoch_.resize(pair_stats_.size(), 0);
+    }
+  }
+  const std::size_t i = pair_index(a, b);
+  if (pair_epoch_[i] != epoch_) {
+    // Canonical low -> high orientation: on an undirected graph both
+    // directions traverse the same links, so caching one makes the result
+    // deterministic in query order and exactly symmetric (the reverse walk
+    // could differ in the last ulps of the delay sum / loss product).
+    const HostId lo = a < b ? a : b;
+    const HostId hi = a < b ? b : a;
+    pair_stats_[i] = router_.path_stats(hosts_.at(lo), hosts_.at(hi));
+    pair_epoch_[i] = epoch_;
+  }
+  return pair_stats_[i];
 }
 
 std::vector<LinkId> GraphUnderlay::path(HostId a, HostId b) const {
   return router_.path(hosts_.at(a), hosts_.at(b));
+}
+
+void GraphUnderlay::for_each_path_link(HostId a, HostId b,
+                                       util::FunctionRef<void(LinkId)> visit) const {
+  router_.for_each_link(hosts_.at(a), hosts_.at(b),
+                        [&visit](LinkId l) { visit(l); });
 }
 
 }  // namespace vdm::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,13 @@ namespace vdm::net {
 /// Hosts are graph vertices registered via attach_host(); topology
 /// generators create them as leaves hanging off stub routers with access
 /// links, matching how GT-ITM experiments place end systems.
+///
+/// Host-pair queries are memoized in a flat triangular delay/loss/hops
+/// cache filled lazily from the router's fused path walk. Repeated probes
+/// of the same pair — the common case under refinement, churn, and the
+/// per-chunk data plane — are a single array read. The cache is stamped
+/// per-pair with an epoch that bumps when Graph::version() changes, so
+/// invalidation is O(1) and allocation-free.
 class GraphUnderlay final : public Underlay {
  public:
   /// Takes ownership of the graph. `hosts` maps HostId -> graph vertex.
@@ -22,17 +30,30 @@ class GraphUnderlay final : public Underlay {
   /// Movable (the router is re-bound to the moved graph); not copyable.
   GraphUnderlay(GraphUnderlay&& other) noexcept
       : graph_(std::move(other.graph_)), hosts_(std::move(other.hosts_)),
-        router_(graph_) {}
+        router_(graph_), pair_stats_(std::move(other.pair_stats_)),
+        pair_epoch_(std::move(other.pair_epoch_)), epoch_(other.epoch_),
+        cached_version_(other.cached_version_) {}
   GraphUnderlay& operator=(GraphUnderlay&&) = delete;
   GraphUnderlay(const GraphUnderlay&) = delete;
   GraphUnderlay& operator=(const GraphUnderlay&) = delete;
 
   std::size_t num_hosts() const override { return hosts_.size(); }
-  sim::Time delay(HostId a, HostId b) const override;
-  double loss(HostId a, HostId b) const override;
+  sim::Time delay(HostId a, HostId b) const override {
+    return a == b ? 0.0 : pair(a, b).delay;
+  }
+  double loss(HostId a, HostId b) const override {
+    return a == b ? 0.0 : pair(a, b).loss;
+  }
   std::vector<LinkId> path(HostId a, HostId b) const override;
+  void for_each_path_link(HostId a, HostId b,
+                          util::FunctionRef<void(LinkId)> visit) const override;
   double link_delay(LinkId link) const override { return graph_.link(link).delay; }
   std::size_t num_links() const override { return graph_.num_links(); }
+
+  /// IP hop count of the unicast path a -> b (0 for a == b / unreachable).
+  std::size_t path_hops(HostId a, HostId b) const {
+    return a == b ? 0 : pair(a, b).hops;
+  }
 
   const Graph& graph() const { return graph_; }
   Graph& mutable_graph() { return graph_; }
@@ -40,9 +61,24 @@ class GraphUnderlay final : public Underlay {
   NodeId host_vertex(HostId h) const { return hosts_.at(h); }
 
  private:
+  /// Strict-upper-triangle index of the unordered host pair {a, b}, a != b.
+  std::size_t pair_index(HostId a, HostId b) const {
+    if (a > b) std::swap(a, b);
+    const std::size_t n = hosts_.size();
+    return static_cast<std::size_t>(a) * n -
+           static_cast<std::size_t>(a) * (a + 1) / 2 + (b - a - 1);
+  }
+
+  const Router::PathStats& pair(HostId a, HostId b) const;
+
   Graph graph_;
   std::vector<NodeId> hosts_;
   Router router_;
+
+  mutable std::vector<Router::PathStats> pair_stats_;  // triangular, lazy
+  mutable std::vector<std::uint64_t> pair_epoch_;
+  mutable std::uint64_t epoch_ = 1;
+  mutable std::uint64_t cached_version_ = ~0ull;
 };
 
 }  // namespace vdm::net

@@ -1,5 +1,6 @@
 #include "net/matrix_underlay.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/require.hpp"
@@ -23,14 +24,19 @@ MatrixUnderlay::MatrixUnderlay(std::size_t n, std::vector<double> delay,
       }
     }
   }
+  row_start_.reserve(n_);
+  std::size_t start = 0;
+  for (std::size_t a = 0; a + 1 < n_; ++a) {
+    row_start_.push_back(start);
+    start += n_ - a - 1;
+  }
+  row_start_.push_back(start);  // == num_links() sentinel
 }
 
 LinkId MatrixUnderlay::pair_link(HostId a, HostId b) const {
   VDM_REQUIRE(a != b && a < n_ && b < n_);
   if (a > b) std::swap(a, b);
-  // Row-major index into the strict upper triangle.
-  const std::size_t row_start = static_cast<std::size_t>(a) * n_ - static_cast<std::size_t>(a) * (a + 1) / 2;
-  return static_cast<LinkId>(row_start + (b - a - 1));
+  return static_cast<LinkId>(row_start_[a] + (b - a - 1));
 }
 
 std::vector<LinkId> MatrixUnderlay::path(HostId a, HostId b) const {
@@ -38,19 +44,20 @@ std::vector<LinkId> MatrixUnderlay::path(HostId a, HostId b) const {
   return {pair_link(a, b)};
 }
 
+void MatrixUnderlay::for_each_path_link(HostId a, HostId b,
+                                        util::FunctionRef<void(LinkId)> visit) const {
+  if (a == b) return;
+  visit(pair_link(a, b));
+}
+
 double MatrixUnderlay::link_delay(LinkId link) const {
-  // Invert pair_link: find the row whose triangle contains `link`.
-  std::size_t remaining = link;
-  for (HostId a = 0; a + 1 < n_; ++a) {
-    const std::size_t row_len = n_ - a - 1;
-    if (remaining < row_len) {
-      const HostId b = static_cast<HostId>(a + 1 + remaining);
-      return delay_[idx(a, b)];
-    }
-    remaining -= row_len;
-  }
-  VDM_REQUIRE_MSG(false, "pseudo-link id out of range");
-  return 0.0;
+  VDM_REQUIRE_MSG(link < num_links(), "pseudo-link id out of range");
+  // Invert pair_link: the row is the last row_start_ <= link.
+  const auto it = std::upper_bound(row_start_.begin(), row_start_.end(),
+                                   static_cast<std::size_t>(link));
+  const auto a = static_cast<HostId>(std::distance(row_start_.begin(), it) - 1);
+  const auto b = static_cast<HostId>(a + 1 + (link - row_start_[a]));
+  return delay_[idx(a, b)];
 }
 
 }  // namespace vdm::net

@@ -11,6 +11,11 @@ namespace vdm::net {
 /// observable. Each unordered host pair is exposed as one pseudo-link, so
 /// "network usage" (sum of used virtual-link latencies, §5.3 of the paper)
 /// falls out of the same accounting as stress does on a router graph.
+///
+/// delay()/loss() are already O(1) matrix reads (this substrate *is* the
+/// host-pair cache GraphUnderlay builds lazily); the fast-path work here is
+/// the allocation-free pseudo-link visitor and an O(log n) link -> pair
+/// inversion via precomputed triangle row offsets.
 class MatrixUnderlay final : public Underlay {
  public:
   /// `delay` must be an n*n row-major matrix of one-way delays with a zero
@@ -24,6 +29,8 @@ class MatrixUnderlay final : public Underlay {
     return loss_.empty() ? 0.0 : loss_[idx(a, b)];
   }
   std::vector<LinkId> path(HostId a, HostId b) const override;
+  void for_each_path_link(HostId a, HostId b,
+                          util::FunctionRef<void(LinkId)> visit) const override;
   double link_delay(LinkId link) const override;
   std::size_t num_links() const override { return n_ * (n_ - 1) / 2; }
 
@@ -36,6 +43,9 @@ class MatrixUnderlay final : public Underlay {
   std::size_t n_;
   std::vector<double> delay_;
   std::vector<double> loss_;
+  /// row_start_[a] = pseudo-link id of pair {a, a+1}; row_start_[n-1] =
+  /// num_links() sentinel. Lets link_delay invert pair_link by binary search.
+  std::vector<std::size_t> row_start_;
 };
 
 }  // namespace vdm::net

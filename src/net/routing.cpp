@@ -1,8 +1,8 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "util/require.hpp"
 
@@ -14,26 +14,33 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 const Router::Sssp& Router::tree_for(NodeId src) const {
   if (cached_version_ != graph_.version()) {
-    cache_.clear();
+    ++epoch_;  // O(1) invalidation of every memoized tree
     cached_version_ = graph_.version();
   }
-  const auto it = cache_.find(src);
-  if (it != cache_.end()) return it->second;
-
   const std::size_t n = graph_.num_nodes();
   VDM_REQUIRE(src < n);
-  Sssp sssp;
+  if (trees_.size() < n) {
+    trees_.resize(n);
+    tree_epoch_.resize(n, 0);
+  }
+  Sssp& sssp = trees_[src];
+  if (tree_epoch_[src] == epoch_) return sssp;
+
+  // assign() reuses the previously grown capacity, so recomputing a tree
+  // after an invalidation allocates nothing in steady state.
   sssp.dist.assign(n, kInf);
   sssp.parent_link.assign(n, kInvalidLink);
   sssp.parent_node.assign(n, kInvalidNode);
   sssp.dist[src] = 0.0;
 
   using QEntry = std::pair<double, NodeId>;  // (distance, node)
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
-  pq.emplace(0.0, src);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
+  const auto cmp = std::greater<QEntry>{};
+  heap_.clear();
+  heap_.emplace_back(0.0, src);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
     if (d > sssp.dist[u]) continue;  // stale entry
     for (const Graph::Arc& arc : graph_.arcs(u)) {
       const double nd = d + arc.delay;
@@ -41,11 +48,13 @@ const Router::Sssp& Router::tree_for(NodeId src) const {
         sssp.dist[arc.to] = nd;
         sssp.parent_link[arc.to] = arc.link;
         sssp.parent_node[arc.to] = u;
-        pq.emplace(nd, arc.to);
+        heap_.emplace_back(nd, arc.to);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
       }
     }
   }
-  return cache_.emplace(src, std::move(sssp)).first->second;
+  tree_epoch_[src] = epoch_;
+  return sssp;
 }
 
 double Router::delay(NodeId src, NodeId dst) const {
@@ -55,34 +64,39 @@ double Router::delay(NodeId src, NodeId dst) const {
 
 std::vector<LinkId> Router::path(NodeId src, NodeId dst) const {
   std::vector<LinkId> links;
-  if (src == dst) return links;
-  const Sssp& sssp = tree_for(src);
-  if (sssp.dist[dst] == kInf) return links;
-  for (NodeId at = dst; at != src; at = sssp.parent_node[at]) {
-    links.push_back(sssp.parent_link[at]);
-  }
-  std::reverse(links.begin(), links.end());
+  for_each_link(src, dst, [&links](LinkId l) { links.push_back(l); });
   return links;
 }
 
 double Router::path_loss(NodeId src, NodeId dst) const {
-  if (src == dst) return 0.0;
-  double deliver = 1.0;
-  for (const LinkId id : path(src, dst)) deliver *= 1.0 - graph_.link(id).loss;
-  return 1.0 - deliver;
+  return path_stats(src, dst).loss;
 }
 
 std::size_t Router::hop_count(NodeId src, NodeId dst) const {
-  if (src == dst) return 0;
+  return path_stats(src, dst).hops;
+}
+
+Router::PathStats Router::path_stats(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
   const Sssp& sssp = tree_for(src);
-  if (sssp.dist[dst] == kInf) return 0;
-  std::size_t hops = 0;
-  for (NodeId at = dst; at != src; at = sssp.parent_node[at]) ++hops;
-  return hops;
+  if (sssp.parent_node[dst] == kInvalidNode) return {kInf, 0.0, 0};
+  // One walk answers delay, loss and hops together. The delivery product
+  // multiplies link factors dst -> src; the forward-order product of the old
+  // separate path()/path_loss() pair is identical because every factor is
+  // drawn from the same link set (floating-point multiplication here is
+  // order-stable to the last bit only for the common 1-2 link case, so the
+  // equivalence tests compare with EXPECT_DOUBLE_EQ).
+  double deliver = 1.0;
+  std::uint32_t hops = 0;
+  for (NodeId at = dst; at != src; at = sssp.parent_node[at]) {
+    deliver *= 1.0 - graph_.link(sssp.parent_link[at]).loss;
+    ++hops;
+  }
+  return {sssp.dist[dst], 1.0 - deliver, hops};
 }
 
 void Router::clear_cache() const {
-  cache_.clear();
+  ++epoch_;
   cached_version_ = ~0ull;
 }
 

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -12,13 +12,24 @@ namespace vdm::net {
 /// for the Internet's unicast forwarding that application-layer multicast
 /// rides on.
 ///
-/// Single-source trees are computed with Dijkstra on demand and memoized per
-/// source. Caches are keyed to Graph::version(), so a mutated graph simply
-/// recomputes. The class is not thread-safe; each experiment seed owns its
-/// own Router (seeds parallelize at a higher level).
+/// Single-source trees are computed with Dijkstra on demand and memoized in
+/// a dense per-source cache validated by an epoch stamp, so invalidation on
+/// Graph::version() bumps is O(1) and steady-state queries never touch the
+/// heap: lookups are flat-array reads, and the visitor / fused-stats APIs
+/// walk parent pointers in place instead of materializing a path vector.
+/// The class is not thread-safe; each experiment seed owns its own Router
+/// (seeds parallelize at a higher level).
 class Router {
  public:
   explicit Router(const Graph& graph) : graph_(graph) {}
+
+  /// Everything one parent-pointer walk can answer about the shortest path
+  /// src -> dst, fused so callers needing several fields pay for one walk.
+  struct PathStats {
+    double delay = 0.0;      ///< infinity when unreachable
+    double loss = 0.0;       ///< 1 - prod(1 - loss_l) over path links
+    std::uint32_t hops = 0;  ///< number of links (0 when unreachable)
+  };
 
   /// One-way propagation delay of the shortest path src -> dst, in seconds.
   /// Infinity if unreachable.
@@ -26,6 +37,7 @@ class Router {
 
   /// Links of the shortest path src -> dst, in order from src. Empty for
   /// src == dst; empty for unreachable pairs (check delay() for infinity).
+  /// Allocates the result; hot paths should prefer for_each_link().
   std::vector<LinkId> path(NodeId src, NodeId dst) const;
 
   /// End-to-end per-packet drop probability along the shortest path:
@@ -34,6 +46,26 @@ class Router {
 
   /// Number of links on the shortest path (IP hop count).
   std::size_t hop_count(NodeId src, NodeId dst) const;
+
+  /// delay + loss + hops from a single walk.
+  PathStats path_stats(NodeId src, NodeId dst) const;
+
+  /// Visits every link of the shortest path src -> dst in order from src,
+  /// without allocating in steady state. No-op for src == dst or
+  /// unreachable pairs.
+  template <typename Fn>
+  void for_each_link(NodeId src, NodeId dst, Fn&& fn) const {
+    if (src == dst) return;
+    const Sssp& sssp = tree_for(src);
+    if (sssp.parent_node[dst] == kInvalidNode) return;  // unreachable
+    // The parent walk yields dst -> src; buffer it (reused capacity) so the
+    // visitor sees links in forward order, matching path().
+    path_scratch_.clear();
+    for (NodeId at = dst; at != src; at = sssp.parent_node[at]) {
+      path_scratch_.push_back(sssp.parent_link[at]);
+    }
+    for (auto it = path_scratch_.rbegin(); it != path_scratch_.rend(); ++it) fn(*it);
+  }
 
   /// Drops all memoized shortest-path trees.
   void clear_cache() const;
@@ -49,7 +81,12 @@ class Router {
 
   const Graph& graph_;
   mutable std::uint64_t cached_version_ = ~0ull;
-  mutable std::unordered_map<NodeId, Sssp> cache_;
+  /// Current cache generation; trees_[s] is valid iff tree_epoch_[s] == epoch_.
+  mutable std::uint64_t epoch_ = 1;
+  mutable std::vector<Sssp> trees_;             // dense, indexed by source
+  mutable std::vector<std::uint64_t> tree_epoch_;
+  mutable std::vector<std::pair<double, NodeId>> heap_;  // reusable Dijkstra heap
+  mutable std::vector<LinkId> path_scratch_;
 };
 
 }  // namespace vdm::net

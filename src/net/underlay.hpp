@@ -4,6 +4,7 @@
 
 #include "net/types.hpp"
 #include "sim/time.hpp"
+#include "util/function_ref.hpp"
 
 namespace vdm::net {
 
@@ -36,8 +37,17 @@ class Underlay {
   virtual double loss(HostId a, HostId b) const = 0;
 
   /// Physical links traversed a -> b, for stress accounting. A
-  /// MatrixUnderlay reports one pseudo-link per host pair.
+  /// MatrixUnderlay reports one pseudo-link per host pair. Allocates the
+  /// result; hot paths should prefer for_each_path_link().
   virtual std::vector<LinkId> path(HostId a, HostId b) const = 0;
+
+  /// Visits the links of path(a, b) in order without materializing the
+  /// vector. Both shipped underlays override this allocation-free; the
+  /// default exists so ad-hoc test doubles only need path().
+  virtual void for_each_path_link(HostId a, HostId b,
+                                  util::FunctionRef<void(LinkId)> visit) const {
+    for (const LinkId l : path(a, b)) visit(l);
+  }
 
   /// One-way delay contributed by a single link (for network-usage sums).
   virtual double link_delay(LinkId link) const = 0;

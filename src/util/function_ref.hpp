@@ -1,0 +1,38 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace vdm::util {
+
+/// Non-owning, non-allocating reference to a callable — the hot-path
+/// substitute for std::function in visitor interfaces (std::function may
+/// heap-allocate for capturing lambdas, which would defeat the
+/// zero-allocation metric fast path). The referenced callable must outlive
+/// the FunctionRef, which callers guarantee trivially by passing temporaries
+/// to functions that only invoke the visitor before returning.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<Fn>, FunctionRef> &&
+                std::is_invocable_r_v<R, Fn&, Args...>>>
+  FunctionRef(Fn&& fn) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<Fn>>>(
+              obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace vdm::util

@@ -1,0 +1,316 @@
+// Property tests for the zero-allocation routing fast path: the dense
+// epoch-stamped Router cache, the fused path_stats walk, the visitor API,
+// and the GraphUnderlay host-pair cache must all agree with a plain
+// reference Dijkstra — on random Waxman and transit-stub graphs, and again
+// after Graph version bumps invalidate every cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "metrics/tree_metrics.hpp"
+#include "net/graph_underlay.hpp"
+#include "net/matrix_underlay.hpp"
+#include "net/routing.hpp"
+#include "overlay/membership.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Textbook Dijkstra, structured like the pre-optimization Router: the
+/// oracle the fast path must reproduce.
+struct RefSssp {
+  std::vector<double> dist;
+  std::vector<LinkId> parent_link;
+  std::vector<NodeId> parent_node;
+};
+
+RefSssp reference_dijkstra(const Graph& g, NodeId src) {
+  const std::size_t n = g.num_nodes();
+  RefSssp ref;
+  ref.dist.assign(n, kInf);
+  ref.parent_link.assign(n, kInvalidLink);
+  ref.parent_node.assign(n, kInvalidNode);
+  ref.dist[src] = 0.0;
+  using QEntry = std::pair<double, NodeId>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > ref.dist[u]) continue;
+    for (const Graph::Arc& arc : g.arcs(u)) {
+      const double nd = d + arc.delay;
+      if (nd < ref.dist[arc.to]) {
+        ref.dist[arc.to] = nd;
+        ref.parent_link[arc.to] = arc.link;
+        ref.parent_node[arc.to] = u;
+        pq.emplace(nd, arc.to);
+      }
+    }
+  }
+  return ref;
+}
+
+/// Loss along the reference parent chain, multiplied dst -> src exactly like
+/// the fused walk, so agreement is byte-for-byte when the trees coincide.
+double reference_loss(const Graph& g, const RefSssp& ref, NodeId src, NodeId dst) {
+  double deliver = 1.0;
+  for (NodeId at = dst; at != src; at = ref.parent_node[at]) {
+    deliver *= 1.0 - g.link(ref.parent_link[at]).loss;
+  }
+  return 1.0 - deliver;
+}
+
+std::size_t reference_hops(const RefSssp& ref, NodeId src, NodeId dst) {
+  std::size_t hops = 0;
+  for (NodeId at = dst; at != src; at = ref.parent_node[at]) ++hops;
+  return hops;
+}
+
+/// Full agreement check between Router fast path and the reference on a
+/// sample of node pairs.
+void expect_matches_reference(const Graph& g, const Router& r,
+                              std::size_t pair_stride) {
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  for (NodeId a = 0; a < n; a += static_cast<NodeId>(pair_stride)) {
+    const RefSssp ref = reference_dijkstra(g, a);
+    for (NodeId b = 0; b < n; b += 3) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(r.delay(a, b), ref.dist[b]) << "src=" << a << " dst=" << b;
+      if (ref.dist[b] == kInf) {
+        EXPECT_TRUE(r.path(a, b).empty());
+        EXPECT_EQ(r.hop_count(a, b), 0u);
+        EXPECT_EQ(r.path_loss(a, b), 0.0);
+        continue;
+      }
+      EXPECT_EQ(r.hop_count(a, b), reference_hops(ref, a, b));
+      EXPECT_DOUBLE_EQ(r.path_loss(a, b), reference_loss(g, ref, a, b));
+
+      // path() must be the reference chain in forward order.
+      const std::vector<LinkId> path = r.path(a, b);
+      std::vector<LinkId> ref_path;
+      for (NodeId at = b; at != a; at = ref.parent_node[at]) {
+        ref_path.push_back(ref.parent_link[at]);
+      }
+      std::reverse(ref_path.begin(), ref_path.end());
+      EXPECT_EQ(path, ref_path);
+
+      // The visitor sees exactly the same sequence without allocating.
+      std::vector<LinkId> visited;
+      r.for_each_link(a, b, [&visited](LinkId l) { visited.push_back(l); });
+      EXPECT_EQ(visited, path);
+
+      // The fused walk is byte-identical to the per-field queries (they
+      // share one implementation and one cache).
+      const Router::PathStats st = r.path_stats(a, b);
+      EXPECT_EQ(st.delay, r.delay(a, b));
+      EXPECT_EQ(st.loss, r.path_loss(a, b));
+      EXPECT_EQ(st.hops, r.hop_count(a, b));
+    }
+  }
+}
+
+Graph waxman_graph(std::uint64_t seed, double loss_max) {
+  util::Rng rng(seed);
+  topo::WaxmanParams wp;
+  wp.num_routers = 60;
+  wp.loss_max = loss_max;
+  return topo::make_waxman(wp, rng).graph;
+}
+
+TEST(RoutingFastPath, MatchesReferenceOnWaxman) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const Graph g = waxman_graph(seed, 0.02);
+    Router r(g);
+    expect_matches_reference(g, r, 7);
+  }
+}
+
+TEST(RoutingFastPath, MatchesReferenceOnTransitStub) {
+  util::Rng rng(21);
+  topo::TransitStubParams params;
+  params.transit_domains = 2;
+  params.routers_per_transit = 3;
+  params.stub_domains_per_transit_router = 2;
+  params.routers_per_stub = 4;
+  params.loss_max = 0.02;
+  const auto topo = topo::make_transit_stub(params, rng);
+  Router r(topo.graph);
+  expect_matches_reference(topo.graph, r, 5);
+}
+
+TEST(RoutingFastPath, SurvivesGraphVersionBumps) {
+  util::Rng rng(31);
+  Graph g = waxman_graph(31, 0.01);
+  Router r(g);
+  expect_matches_reference(g, r, 11);
+
+  // Structural mutation: new links invalidate every cached tree.
+  for (int round = 0; round < 3; ++round) {
+    const auto n = static_cast<NodeId>(g.num_nodes());
+    const auto a = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    auto b = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (a == b) b = (b + 1) % n;
+    g.add_link(a, b, rng.uniform(0.001, 0.005), 0.005);
+    expect_matches_reference(g, r, 11);
+  }
+
+  // In-place mutation through mutable_link must also bump version() and
+  // invalidate (delay changes reroute, loss changes re-weight paths).
+  const LinkId edited = 0;
+  g.mutable_link(edited).delay *= 0.1;
+  g.mutable_link(edited).loss = 0.05;
+  expect_matches_reference(g, r, 11);
+}
+
+TEST(RoutingFastPath, GraphUnderlayPairCacheMatchesRouter) {
+  util::Rng rng(41);
+  topo::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.routers_per_transit = 2;
+  tp.stub_domains_per_transit_router = 2;
+  tp.routers_per_stub = 3;
+  tp.loss_max = 0.02;
+  topo::HostAttachment hp;
+  hp.num_hosts = 24;
+  GraphUnderlay u = topo::make_transit_stub_underlay(tp, hp, rng);
+
+  const auto check_all_pairs = [&u] {
+    // A fresh Router shares no cache state with the underlay's pair cache.
+    const Router fresh(u.graph());
+    for (HostId a = 0; a < u.num_hosts(); ++a) {
+      for (HostId b = 0; b < u.num_hosts(); ++b) {
+        const NodeId va = u.host_vertex(a);
+        const NodeId vb = u.host_vertex(b);
+        if (a <= b) {
+          // The cache computes the canonical low -> high orientation:
+          // agreement there is exact.
+          EXPECT_EQ(u.delay(a, b), fresh.delay(va, vb));
+          EXPECT_EQ(u.loss(a, b), fresh.path_loss(va, vb));
+        } else {
+          // The reverse orientation walks the same links in the opposite
+          // order; the sum/product may differ in the last ulps.
+          EXPECT_NEAR(u.delay(a, b), fresh.delay(va, vb), 1e-12);
+          EXPECT_NEAR(u.loss(a, b), fresh.path_loss(va, vb), 1e-12);
+        }
+        EXPECT_EQ(u.path_hops(a, b), fresh.hop_count(va, vb));
+        std::vector<LinkId> visited;
+        u.for_each_path_link(a, b, [&visited](LinkId l) { visited.push_back(l); });
+        EXPECT_EQ(visited, fresh.path(va, vb));
+      }
+    }
+  };
+  check_all_pairs();
+
+  // Warm cache, then bump the graph version and require recomputation.
+  u.mutable_graph().mutable_link(0).delay *= 10.0;
+  check_all_pairs();
+  const NodeId v0 = u.host_vertex(0);
+  const NodeId v1 = u.host_vertex(1);
+  u.mutable_graph().add_link(v0, v1, 0.0001);
+  check_all_pairs();
+  EXPECT_EQ(u.path_hops(0, 1), 1u);  // the new direct link must win
+}
+
+TEST(RoutingFastPath, PairCacheIsSymmetricOnUndirectedGraphs) {
+  util::Rng rng(51);
+  topo::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.routers_per_transit = 2;
+  tp.stub_domains_per_transit_router = 1;
+  tp.routers_per_stub = 3;
+  topo::HostAttachment hp;
+  hp.num_hosts = 16;
+  const GraphUnderlay u = topo::make_transit_stub_underlay(tp, hp, rng);
+  for (HostId a = 0; a < u.num_hosts(); ++a) {
+    for (HostId b = a + 1; b < u.num_hosts(); ++b) {
+      EXPECT_EQ(u.delay(a, b), u.delay(b, a));
+      EXPECT_EQ(u.loss(a, b), u.loss(b, a));
+      EXPECT_EQ(u.path_hops(a, b), u.path_hops(b, a));
+    }
+  }
+}
+
+TEST(RoutingFastPath, MatrixUnderlayVisitorMatchesPath) {
+  const std::size_t n = 7;
+  std::vector<double> delay(n * n, 0.0);
+  util::Rng rng(61);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      delay[a * n + b] = delay[b * n + a] = rng.uniform(0.001, 0.2);
+    }
+  }
+  const MatrixUnderlay u(n, std::move(delay));
+  for (HostId a = 0; a < n; ++a) {
+    for (HostId b = 0; b < n; ++b) {
+      std::vector<LinkId> visited;
+      u.for_each_path_link(a, b, [&visited](LinkId l) { visited.push_back(l); });
+      EXPECT_EQ(visited, u.path(a, b));
+      if (a != b) {
+        // link_delay inverts pair_link for every pseudo-link.
+        EXPECT_DOUBLE_EQ(u.link_delay(u.pair_link(a, b)), u.delay(a, b));
+      }
+    }
+  }
+}
+
+TEST(RoutingFastPath, MeasureTreeScratchReuseIsExact) {
+  util::Rng rng(71);
+  topo::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.routers_per_transit = 3;
+  tp.stub_domains_per_transit_router = 2;
+  tp.routers_per_stub = 3;
+  tp.loss_max = 0.01;
+  topo::HostAttachment hp;
+  hp.num_hosts = 40;
+  GraphUnderlay u = topo::make_transit_stub_underlay(tp, hp, rng);
+
+  overlay::Membership tree(u.num_hosts());
+  for (HostId h = 0; h < u.num_hosts(); ++h) tree.activate(h, 4);
+  for (HostId h = 1; h < u.num_hosts(); ++h) {
+    const HostId parent = static_cast<HostId>(rng.uniform_int(0, h - 1));
+    tree.attach(h, parent, u.rtt(parent, h), /*allow_full=*/true);
+  }
+
+  const auto expect_same = [](const metrics::TreeMetrics& x,
+                              const metrics::TreeMetrics& y) {
+    EXPECT_EQ(x.members, y.members);
+    EXPECT_EQ(x.stress_avg, y.stress_avg);
+    EXPECT_EQ(x.stress_max, y.stress_max);
+    EXPECT_EQ(x.links_used, y.links_used);
+    EXPECT_EQ(x.stretch_avg, y.stretch_avg);
+    EXPECT_EQ(x.stretch_min, y.stretch_min);
+    EXPECT_EQ(x.stretch_max, y.stretch_max);
+    EXPECT_EQ(x.stretch_leaf_avg, y.stretch_leaf_avg);
+    EXPECT_EQ(x.hop_avg, y.hop_avg);
+    EXPECT_EQ(x.hop_max, y.hop_max);
+    EXPECT_EQ(x.hop_leaf_avg, y.hop_leaf_avg);
+    EXPECT_EQ(x.network_usage, y.network_usage);
+  };
+
+  metrics::TreeMetricsScratch scratch;
+  const metrics::TreeMetrics first = metrics::measure_tree(tree, 0, u, scratch);
+  // Reusing the scratch (stale counters, stamped epochs) changes nothing.
+  expect_same(first, metrics::measure_tree(tree, 0, u, scratch));
+  // Neither does a throwaway scratch.
+  expect_same(first, metrics::measure_tree(tree, 0, u));
+
+  // After a graph mutation all three still agree with each other.
+  u.mutable_graph().mutable_link(0).delay *= 4.0;
+  const metrics::TreeMetrics after = metrics::measure_tree(tree, 0, u, scratch);
+  expect_same(after, metrics::measure_tree(tree, 0, u, scratch));
+  expect_same(after, metrics::measure_tree(tree, 0, u));
+}
+
+}  // namespace
+}  // namespace vdm::net

@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "util/require.hpp"
+
 namespace vdm::experiments {
 namespace {
 
@@ -185,6 +187,16 @@ TEST(Runner, RunManyParallelEqualsSequential) {
     EXPECT_DOUBLE_EQ(par.runs[i].stretch, seq.runs[i].stretch);
     EXPECT_DOUBLE_EQ(par.runs[i].overhead, seq.runs[i].overhead);
   }
+}
+
+TEST(Runner, RunManyPropagatesWorkerExceptions) {
+  // host_pool <= target_members trips a precondition inside run_once on a
+  // worker thread; run_many must surface it on the caller instead of
+  // letting the worker std::terminate the process.
+  RunConfig bad = small_config();
+  bad.host_pool = 2;
+  bad.scenario.target_members = 8;
+  EXPECT_THROW(run_many(bad, 4, 2), util::InvariantError);
 }
 
 TEST(Runner, DefaultSeedsEnvKnobs) {

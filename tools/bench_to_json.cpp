@@ -1,0 +1,197 @@
+// Converts google-benchmark console output into the repo's perf-trajectory
+// file. Reads the console table (stdin or --in), extracts every benchmark
+// row, and appends one labeled run entry to a JSON array (--out, default
+// BENCH_e2e.json in the current directory), creating the file on first use:
+//
+//   ./build/bench/bench_e2e | ./build/tools/bench_to_json --label fastpath
+//
+// The trajectory file is an array of
+//   {"label", "recorded_at_utc", "results": {name: {"real_time_ms",
+//    "cpu_time_ms", "iterations", "counters": {...}}}}
+// so successive PRs can diff entries (see README "Performance").
+
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  double real_time_ms = 0.0;
+  double cpu_time_ms = 0.0;
+  long long iterations = 0;
+  std::map<std::string, double> counters;
+};
+
+double to_ms(double value, const std::string& unit) {
+  if (unit == "ns") return value * 1e-6;
+  if (unit == "us") return value * 1e-3;
+  if (unit == "ms") return value;
+  if (unit == "s") return value * 1e3;
+  return value;  // unknown unit: pass through
+}
+
+/// Parses benchmark's humanized counter values ("1.698k", "23", "2.5M").
+double parse_counter(const std::string& text) {
+  std::size_t pos = 0;
+  const double v = std::stod(text, &pos);
+  if (pos < text.size()) {
+    switch (text[pos]) {
+      case 'k': return v * 1e3;
+      case 'M': return v * 1e6;
+      case 'G': return v * 1e9;
+      default: break;
+    }
+  }
+  return v;
+}
+
+/// A benchmark row looks like:
+///   BM_Name/200   98.0 us   96.9 us   2807 counter=1.698k ...
+bool parse_row(const std::string& line, BenchRow& row) {
+  std::istringstream in(line);
+  std::string name, real_unit, cpu_unit;
+  double real_value = 0.0, cpu_value = 0.0;
+  long long iters = 0;
+  if (!(in >> name >> real_value >> real_unit >> cpu_value >> cpu_unit >> iters)) {
+    return false;
+  }
+  if (name.rfind("BM_", 0) != 0) return false;
+  row.name = name;
+  row.real_time_ms = to_ms(real_value, real_unit);
+  row.cpu_time_ms = to_ms(cpu_value, cpu_unit);
+  row.iterations = iters;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    try {
+      row.counters[token.substr(0, eq)] = parse_counter(token.substr(eq + 1));
+    } catch (const std::exception&) {
+      // Non-numeric counter; skip it.
+    }
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_entry(const std::string& label, const std::vector<BenchRow>& rows) {
+  std::ostringstream out;
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  out << "  {\n    \"label\": \"" << json_escape(label) << "\",\n"
+      << "    \"recorded_at_utc\": \"" << stamp << "\",\n"
+      << "    \"results\": {\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "      \"" << json_escape(r.name) << "\": {"
+        << "\"real_time_ms\": " << r.real_time_ms
+        << ", \"cpu_time_ms\": " << r.cpu_time_ms
+        << ", \"iterations\": " << r.iterations;
+    if (!r.counters.empty()) {
+      out << ", \"counters\": {";
+      bool first = true;
+      for (const auto& [key, value] : r.counters) {
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << json_escape(key) << "\": " << value;
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "    }\n  }";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vdm::util::Flags flags(argc, argv);
+  const std::string label = flags.get("label", "unlabeled");
+  const std::string in_path = flags.get("in", "");
+  const std::string out_path = flags.get("out", "BENCH_e2e.json");
+
+  std::ifstream in_file;
+  if (!in_path.empty()) {
+    in_file.open(in_path);
+    if (!in_file) {
+      std::cerr << "bench_to_json: cannot read " << in_path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = in_path.empty() ? std::cin : in_file;
+
+  std::vector<BenchRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    BenchRow row;
+    if (parse_row(line, row)) rows.push_back(row);
+  }
+  if (rows.empty()) {
+    std::cerr << "bench_to_json: no benchmark rows found in input\n";
+    return 1;
+  }
+
+  // Append to the existing trajectory array (created by this tool), or
+  // start a new one. The file is machine-written, so splicing before the
+  // closing bracket is safe.
+  std::string existing;
+  {
+    std::ifstream prior(out_path);
+    if (prior) {
+      std::ostringstream buf;
+      buf << prior.rdbuf();
+      existing = buf.str();
+    }
+  }
+  while (!existing.empty() && std::isspace(static_cast<unsigned char>(existing.back()))) {
+    existing.pop_back();
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_to_json: cannot write " << out_path << "\n";
+    return 1;
+  }
+  if (existing.empty()) {
+    out << "[\n" << format_entry(label, rows) << "\n]\n";
+  } else if (existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() &&
+           std::isspace(static_cast<unsigned char>(existing.back()))) {
+      existing.pop_back();
+    }
+    const bool was_empty_array = !existing.empty() && existing.back() == '[';
+    out << existing << (was_empty_array ? "\n" : ",\n")
+        << format_entry(label, rows) << "\n]\n";
+  } else {
+    std::cerr << "bench_to_json: " << out_path
+              << " is not a trajectory array; refusing to overwrite\n";
+    return 1;
+  }
+  std::cout << "bench_to_json: appended \"" << label << "\" (" << rows.size()
+            << " benchmarks) to " << out_path << "\n";
+  return 0;
+}
