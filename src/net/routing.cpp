@@ -10,6 +10,45 @@ namespace vdm::net {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Arity of the Dijkstra heap — same shallow-tree tradeoff as the event
+/// engine's slab heap.
+constexpr std::size_t kHeapArity = 4;
+/// heap_pos_ sentinels: never enqueued / already settled.
+constexpr std::uint32_t kUnseen = 0xffffffffu;
+constexpr std::uint32_t kSettled = 0xfffffffeu;
+}  // namespace
+
+void Router::heap_sift_up(std::size_t pos) const {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kHeapArity;
+    if (heap_[parent].key <= e.key) break;
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos].node] = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = e;
+  heap_pos_[e.node] = static_cast<std::uint32_t>(pos);
+}
+
+void Router::heap_sift_down(std::size_t pos) const {
+  const HeapEntry e = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = pos * kHeapArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].key < heap_[best].key) best = c;
+    }
+    if (heap_[best].key >= e.key) break;
+    heap_[pos] = heap_[best];
+    heap_pos_[heap_[pos].node] = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = e;
+  heap_pos_[e.node] = static_cast<std::uint32_t>(pos);
 }
 
 const Router::Sssp& Router::tree_for(NodeId src) const {
@@ -33,23 +72,48 @@ const Router::Sssp& Router::tree_for(NodeId src) const {
   sssp.parent_node.assign(n, kInvalidNode);
   sssp.dist[src] = 0.0;
 
-  using QEntry = std::pair<double, NodeId>;  // (distance, node)
-  const auto cmp = std::greater<QEntry>{};
+  // Dijkstra on an indexed 4-ary heap with decrease-key: every node is in
+  // the heap at most once (no lazy duplicates to pop and skip), and sifts
+  // touch a quarter of the levels a binary heap would. Two pruning rules
+  // keep the heap small without changing any computed distance:
+  //   - settled nodes (non-negative weights) can never improve, and
+  //   - degree-1 nodes can never transit traffic, so their distance is
+  //     final the moment their only neighbor relaxes them. Host leaves —
+  //     the majority of vertices in generated topologies — therefore never
+  //     enter the heap at all.
+  // The relaxation arithmetic (`settled key + arc delay`, strict
+  // improvement) is identical to the lazy-heap version, so distances and
+  // parents are bit-for-bit unchanged.
   heap_.clear();
-  heap_.emplace_back(0.0, src);
+  heap_pos_.assign(n, kUnseen);
+  heap_.push_back({0.0, src});
+  heap_pos_[src] = 0;
   while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), cmp);
-    const auto [d, u] = heap_.back();
+    const HeapEntry top = heap_[0];
+    heap_pos_[top.node] = kSettled;
+    const HeapEntry tail = heap_.back();
     heap_.pop_back();
-    if (d > sssp.dist[u]) continue;  // stale entry
-    for (const Graph::Arc& arc : graph_.arcs(u)) {
-      const double nd = d + arc.delay;
+    if (!heap_.empty()) {
+      heap_[0] = tail;
+      heap_pos_[tail.node] = 0;
+      heap_sift_down(0);
+    }
+    for (const Graph::Arc& arc : graph_.arcs(top.node)) {
+      const double nd = top.key + arc.delay;
       if (nd < sssp.dist[arc.to]) {
         sssp.dist[arc.to] = nd;
         sssp.parent_link[arc.to] = arc.link;
-        sssp.parent_node[arc.to] = u;
-        heap_.emplace_back(nd, arc.to);
-        std::push_heap(heap_.begin(), heap_.end(), cmp);
+        sssp.parent_node[arc.to] = top.node;
+        const std::uint32_t pos = heap_pos_[arc.to];
+        if (pos == kSettled) continue;       // defensive; cannot happen
+        if (graph_.degree(arc.to) <= 1) continue;  // leaf: settled in place
+        if (pos == kUnseen) {
+          heap_.push_back({nd, arc.to});
+          heap_sift_up(heap_.size() - 1);
+        } else {
+          heap_[pos].key = nd;
+          heap_sift_up(pos);
+        }
       }
     }
   }

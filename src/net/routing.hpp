@@ -77,7 +77,16 @@ class Router {
     std::vector<NodeId> parent_node;
   };
 
+  /// Entry of the indexed 4-ary Dijkstra heap (key cached inline so sifts
+  /// never chase the dist array).
+  struct HeapEntry {
+    double key;
+    NodeId node;
+  };
+
   const Sssp& tree_for(NodeId src) const;
+  void heap_sift_up(std::size_t pos) const;
+  void heap_sift_down(std::size_t pos) const;
 
   const Graph& graph_;
   mutable std::uint64_t cached_version_ = ~0ull;
@@ -85,7 +94,10 @@ class Router {
   mutable std::uint64_t epoch_ = 1;
   mutable std::vector<Sssp> trees_;             // dense, indexed by source
   mutable std::vector<std::uint64_t> tree_epoch_;
-  mutable std::vector<std::pair<double, NodeId>> heap_;  // reusable Dijkstra heap
+  // Reusable indexed-heap state: entry array plus node -> heap position
+  // back-pointers, enabling decrease-key instead of lazy duplicates.
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::vector<std::uint32_t> heap_pos_;
   mutable std::vector<LinkId> path_scratch_;
 };
 

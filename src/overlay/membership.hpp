@@ -16,23 +16,41 @@ using net::kInvalidHost;
 /// child (§3.2: "Each node has children list and distances to them. They
 /// also know their parent and grandparent.").
 struct MemberState {
-  bool alive = false;
-  /// Maximum number of children this node will feed (uplink capacity).
-  int degree_limit = 0;
-  HostId parent = kInvalidHost;
-  HostId grandparent = kInvalidHost;
-  std::vector<HostId> children;
-  /// Virtual distance to each child, keyed by child id, as measured when
-  /// the child connected (the state a parent reports in info responses).
-  std::unordered_map<HostId, double> child_dist;
+  // Field order is data-plane-first: the chunk flood touches
+  // receiving_since, the chunk counters and the children list for every
+  // overlay edge of every chunk, so they share the leading cache line;
+  // control-plane state (and the cold child_dist map) follows.
 
   /// When the member (re)gained a working path to the source. Data chunks
   /// arriving earlier are not deliverable to it (join/reconnect outage).
   sim::Time receiving_since = 0.0;
 
-  // Data-plane accounting for the loss-rate metric.
-  std::uint64_t chunks_expected = 0;
-  std::uint64_t chunks_received = 0;
+  /// When the member first completed its initial join of the current stint
+  /// (chunks are *expected* from this point; see the loss metric).
+  sim::Time in_session_since = 0.0;
+
+  /// Memoized drop probability of the uplink from `uplink_loss_parent`.
+  /// Refreshed lazily when the flood sees a different parent; sound because
+  /// the underlay is immutable once a session streams.
+  double uplink_loss = 0.0;
+  HostId uplink_loss_parent = kInvalidHost;
+
+  // Data-plane accounting for the loss-rate metric. 32-bit: even day-long
+  // sessions emit far fewer than 4G chunks per member, and the narrower
+  // counters keep every flood-touched field inside one cache line.
+  std::uint32_t chunks_expected = 0;
+  std::uint32_t chunks_received = 0;
+
+  std::vector<HostId> children;
+
+  HostId parent = kInvalidHost;
+  HostId grandparent = kInvalidHost;
+  bool alive = false;
+  /// Maximum number of children this node will feed (uplink capacity).
+  int degree_limit = 0;
+  /// Virtual distance to each child, keyed by child id, as measured when
+  /// the child connected (the state a parent reports in info responses).
+  std::unordered_map<HostId, double> child_dist;
 
   bool has_free_degree() const {
     return static_cast<int>(children.size()) < degree_limit;
@@ -53,6 +71,11 @@ class Membership {
   std::size_t num_hosts() const { return members_.size(); }
   const MemberState& member(HostId h) const { return members_.at(h); }
   MemberState& mutable_member(HostId h) { return members_.at(h); }
+
+  /// Bounds-unchecked accessors for per-edge hot loops (the data-plane
+  /// chunk flood); callers guarantee h < num_hosts().
+  const MemberState& member_unchecked(HostId h) const { return members_[h]; }
+  MemberState& mutable_member_unchecked(HostId h) { return members_[h]; }
 
   /// Marks `h` alive with the given child capacity; it joins detached.
   void activate(HostId h, int degree_limit);

@@ -13,8 +13,7 @@ Session::Session(sim::Simulator& simulator, const net::Underlay& underlay,
                  Protocol& protocol, const MetricProvider& metric,
                  const SessionParams& params, util::Rng rng)
     : sim_(simulator), underlay_(underlay), protocol_(protocol), metric_(metric),
-      params_(params), rng_(rng), tree_(underlay.num_hosts()),
-      in_session_since_(underlay.num_hosts(), 0.0) {
+      params_(params), rng_(rng), tree_(underlay.num_hosts()) {
   VDM_REQUIRE(params_.source < underlay.num_hosts());
   VDM_REQUIRE(params_.chunk_rate > 0.0);
 }
@@ -25,7 +24,7 @@ void Session::start() {
   VDM_REQUIRE_MSG(!started_, "start() called twice");
   started_ = true;
   tree_.activate(params_.source, params_.source_degree_limit);
-  in_session_since_[params_.source] = sim_.now();
+  tree_.mutable_member(params_.source).in_session_since = sim_.now();
   if (params_.data_plane) {
     stream_timer_ = std::make_unique<sim::Periodic>(
         sim_, 1.0 / params_.chunk_rate, [this] { emit_chunk(); });
@@ -42,7 +41,7 @@ TimingRecord Session::join(net::HostId h, int degree_limit) {
   VDM_REQUIRE_MSG(h != params_.source, "the source does not join");
   tree_.activate(h, degree_limit);
   const TimingRecord rec = run_join(h, params_.source, /*is_reconnect=*/false);
-  in_session_since_[h] = sim_.now() + rec.duration;
+  tree_.mutable_member(h).in_session_since = sim_.now() + rec.duration;
   if (protocol_.wants_refinement()) arm_refinement(h);
   if (params_.paranoid_checks) tree_.validate();
   return rec;
@@ -189,48 +188,64 @@ void Session::emit_chunk() {
   ++window_.chunks_emitted;
   ++totals_.chunks_emitted;
   const sim::Time now = sim_.now();
+  const sim::Time buffered_now = now + params_.buffer_seconds;
 
   // Flood the chunk down the tree. A node is *expected* to see the chunk
   // once it has completed its initial join; it actually *receives* it only
   // if it is not inside a reconnection outage, its parent received it, and
   // the overlay-path loss draw succeeds. Descendants of an outaged node
   // therefore miss chunks too — exactly the churn loss the paper measures.
-  struct Frame {
-    net::HostId host;
-    bool delivered;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({params_.source, true});
-  while (!stack.empty()) {
-    const Frame f = stack.back();
-    stack.pop_back();
-    for (const net::HostId c : tree_.member(f.host).children) {
+  //
+  // This is the hottest loop of a whole run (every overlay edge, every
+  // chunk), so it runs allocation-free on reusable scratch, memoizes each
+  // child's uplink loss, and accumulates session counters in locals. All
+  // per-member state the flood reads lives on MemberState's leading cache
+  // line, so each edge costs one random memory access. Leaves are never
+  // pushed, and the rng draw order matches the naive traversal exactly
+  // (skipped leaf frames drew nothing), preserving determinism.
+  std::uint64_t transmissions = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t delivered_total = 0;
+
+  chunk_stack_.clear();
+  chunk_stack_.push_back({params_.source, true});
+  while (!chunk_stack_.empty()) {
+    const ChunkFrame f = chunk_stack_.back();
+    chunk_stack_.pop_back();
+    for (const net::HostId c : tree_.member_unchecked(f.host).children) {
+      MemberState& cm = tree_.mutable_member_unchecked(c);
       bool delivered = false;
       if (f.delivered) {
-        ++window_.data_transmissions;
-        ++totals_.data_transmissions;
-        const MemberState& cm = tree_.member(c);
+        ++transmissions;
         // A playout buffer forgives outages that end within buffer_seconds:
         // the chunk is recovered from the new parent before playback needs
         // it, so the viewer never sees the gap.
-        if (now + params_.buffer_seconds >= cm.receiving_since) {
-          delivered = !rng_.chance(underlay_.loss(f.host, c));
+        if (buffered_now >= cm.receiving_since) {
+          if (cm.uplink_loss_parent != f.host) {
+            cm.uplink_loss_parent = f.host;
+            cm.uplink_loss = underlay_.loss(f.host, c);
+          }
+          delivered = !rng_.chance(cm.uplink_loss);
         }
       }
-      MemberState& cm = tree_.mutable_member(c);
-      if (now >= in_session_since_[c]) {
+      if (now >= cm.in_session_since) {
         ++cm.chunks_expected;
-        ++window_.chunks_expected;
-        ++totals_.chunks_expected;
+        ++expected;
         if (delivered) {
           ++cm.chunks_received;
-          ++window_.chunks_delivered;
-          ++totals_.chunks_delivered;
+          ++delivered_total;
         }
       }
-      stack.push_back({c, delivered});
+      if (!cm.children.empty()) chunk_stack_.push_back({c, delivered});
     }
   }
+
+  window_.data_transmissions += transmissions;
+  totals_.data_transmissions += transmissions;
+  window_.chunks_expected += expected;
+  totals_.chunks_expected += expected;
+  window_.chunks_delivered += delivered_total;
+  totals_.chunks_delivered += delivered_total;
 }
 
 }  // namespace vdm::overlay

@@ -140,6 +140,12 @@ class Session {
   void disarm_refinement(net::HostId h);
   void emit_chunk();
 
+  /// One node of the per-chunk flood traversal.
+  struct ChunkFrame {
+    net::HostId host;
+    bool delivered;
+  };
+
   sim::Simulator& sim_;
   const net::Underlay& underlay_;
   Protocol& protocol_;
@@ -148,12 +154,13 @@ class Session {
   util::Rng rng_;
   Membership tree_;
 
-  /// When each member first completed its initial join of the current
-  /// stint (chunks are "expected" from this point; see loss metric).
-  std::vector<sim::Time> in_session_since_;
-
   std::unique_ptr<sim::Periodic> stream_timer_;
   std::unordered_map<net::HostId, std::unique_ptr<sim::Periodic>> refine_timers_;
+
+  /// Reusable traversal scratch: emit_chunk runs chunk_rate times per
+  /// simulated second, so a fresh vector per chunk would dominate the data
+  /// plane's allocation profile.
+  std::vector<ChunkFrame> chunk_stack_;
 
   Counters window_;
   Counters totals_;

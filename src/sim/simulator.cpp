@@ -1,82 +1,216 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/require.hpp"
 
 namespace vdm::sim {
 
-EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
-  VDM_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
-  VDM_REQUIRE(fn != nullptr);
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+namespace {
+/// Arity of the event heap. 4 keeps the tree shallow (fewer cache lines per
+/// sift) while the min-of-children scan stays register-resident.
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return slot;
 }
 
-EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.generation;  // stale EventIds now fail the generation check
+  s.heap_pos = kNoSlot;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kHeapArity;
+    if (!before(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = pos * kHeapArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], slot)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_push(std::uint32_t slot) {
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_remove(std::size_t pos) {
+  slots_[heap_[pos]].heap_pos = kNoSlot;
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    heap_.pop_back();
+    // The displaced element may belong above or below its new position.
+    sift_up(pos);
+    sift_down(slots_[heap_[pos]].heap_pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+EventId Simulator::schedule_at(Time t, InlineFn fn) {
+  VDM_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  VDM_REQUIRE(fn != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.t = t;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  heap_push(slot);
+  return make_id(slot, s.generation);
+}
+
+EventId Simulator::schedule_in(Time delay, InlineFn fn) {
   VDM_REQUIRE_MSG(delay >= 0.0, "negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 void Simulator::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already fired or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  if (id == kInvalidEvent) return;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.generation != generation_of(id)) return;  // already fired or cancelled
+  if (slot == firing_slot_) {
+    // Cancelling the event whose callback is running: the firing itself
+    // cannot be undone (matching the old engine, where the callback was
+    // extracted before execution), but any pending re-arm is suppressed.
+    firing_cancelled_ = true;
+    return;
+  }
+  heap_remove(s.heap_pos);
+  release_slot(slot);
 }
 
-void Simulator::pop_and_run(const Entry& e) {
-  now_ = e.t;
-  auto node = callbacks_.extract(e.id);
-  heap_.pop();
+bool Simulator::reschedule_current_in(Time delay) {
+  VDM_REQUIRE_MSG(delay >= 0.0, "negative delay");
+  if (firing_slot_ == kNoSlot || firing_cancelled_) return false;
+  firing_rearm_ = true;
+  firing_rearm_at_ = now_ + delay;
+  return true;
+}
+
+void Simulator::fire_top() {
+  const std::uint32_t slot = heap_[0];
+  now_ = slots_[slot].t;
+  heap_remove(0);
   ++executed_;
-  // Run after popping so the callback can schedule/cancel freely.
-  node.mapped()();
+
+  firing_slot_ = slot;
+  firing_cancelled_ = false;
+  firing_rearm_ = false;
+  // Run from a local: the callback may schedule events and grow the slab,
+  // invalidating any reference into slots_.
+  InlineFn fn = std::move(slots_[slot].fn);
+  try {
+    fn();
+  } catch (...) {
+    // Keep the engine consistent if a callback throws (the old engine
+    // consumed the event before running it): the event is spent, the slot
+    // returns to the free list, and the exception propagates to the caller.
+    release_slot(slot);
+    firing_slot_ = kNoSlot;
+    firing_cancelled_ = false;
+    firing_rearm_ = false;
+    throw;
+  }
+
+  Slot& s = slots_[slot];  // re-fetch: the slab may have reallocated
+  if (firing_rearm_ && !firing_cancelled_) {
+    // Re-arm in place (Periodic): same slot, same generation — the caller's
+    // EventId stays valid — with a fresh sequence number, exactly as if the
+    // callback had scheduled a new event at this point.
+    s.fn = std::move(fn);
+    s.t = firing_rearm_at_;
+    s.seq = next_seq_++;
+    heap_push(slot);
+  } else {
+    release_slot(slot);
+  }
+  firing_slot_ = kNoSlot;
+  firing_cancelled_ = false;
+  firing_rearm_ = false;
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    const Entry e = heap_.top();
-    if (cancelled_.erase(e.id)) {
-      heap_.pop();
-      continue;
-    }
-    pop_and_run(e);
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  fire_top();
+  return true;
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && step()) ++n;
+  while (n < max_events && !heap_.empty()) {
+    fire_top();
+    ++n;
+  }
   return n;
 }
 
 std::size_t Simulator::run_until(Time t) {
   VDM_REQUIRE(t >= now_);
   std::size_t n = 0;
-  while (!heap_.empty()) {
-    const Entry e = heap_.top();
-    if (e.t > t) break;
-    if (cancelled_.erase(e.id)) {
-      heap_.pop();
-      continue;
-    }
-    pop_and_run(e);
+  while (!heap_.empty() && slots_[heap_[0]].t <= t) {
+    fire_top();
     ++n;
   }
   now_ = t;
   return n;
 }
 
-Periodic::Periodic(Simulator& simulator, Time interval, std::function<void()> fn)
+Periodic::Periodic(Simulator& simulator, Time interval, InlineFn fn)
     : sim_(simulator), interval_(interval), fn_(std::move(fn)) {
   VDM_REQUIRE(interval_ > 0.0);
   VDM_REQUIRE(fn_ != nullptr);
-  arm();
+  pending_ = sim_.schedule_in(interval_, [this] {
+    fn_();
+    // Re-arm into the same slot (zero allocation, id unchanged). If fn_
+    // called stop(), the cancel already suppressed the re-arm; clear the
+    // stale id so a later stop() cannot cancel an unrelated reused slot.
+    if (running_) {
+      sim_.reschedule_current_in(interval_);
+    } else {
+      pending_ = kInvalidEvent;
+    }
+  });
 }
 
 Periodic::~Periodic() { stop(); }
@@ -86,15 +220,6 @@ void Periodic::stop() {
   running_ = false;
   if (pending_ != kInvalidEvent) sim_.cancel(pending_);
   pending_ = kInvalidEvent;
-}
-
-void Periodic::arm() {
-  pending_ = sim_.schedule_in(interval_, [this] {
-    pending_ = kInvalidEvent;
-    if (!running_) return;
-    fn_();
-    if (running_) arm();
-  });
 }
 
 }  // namespace vdm::sim

@@ -1,17 +1,16 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace vdm::sim {
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
+/// Encodes (generation, slab slot); a stale id — one whose event already
+/// fired or was cancelled — fails the generation check and is ignored.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
@@ -22,6 +21,14 @@ constexpr EventId kInvalidEvent = 0;
 /// equal timestamps execute in scheduling order (stable sequence-number
 /// tie-break), which keeps whole experiments bit-deterministic per seed —
 /// parallelism lives one level up, across independent seeds.
+///
+/// Implementation: events live in a free-list slab of fixed slots with
+/// generation-stamped ids, ordered by an indexed 4-ary min-heap (slot ->
+/// heap-position back-pointers), so cancel() removes the event with one
+/// localized sift instead of accumulating tombstones. Callbacks are
+/// small-buffer-optimized (InlineFn), so once the slab and heap have grown
+/// to a run's working set, schedule/fire/cancel perform zero heap
+/// allocations.
 class Simulator {
  public:
   Simulator() = default;
@@ -32,13 +39,21 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellable id.
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, InlineFn fn);
 
   /// Schedules `fn` after `delay` (>= 0) seconds.
-  EventId schedule_in(Time delay, std::function<void()> fn);
+  EventId schedule_in(Time delay, InlineFn fn);
 
   /// Cancels a pending event; a no-op if it already fired or was cancelled.
+  /// Cancelling the currently-firing event suppresses its re-arm (see
+  /// reschedule_current_in) but does not interrupt the running callback.
   void cancel(EventId id);
+
+  /// From inside a callback only: re-arms the currently-firing event to run
+  /// again `delay` seconds from now, reusing its slot, id and callable —
+  /// no allocation, no id churn. Returns false (and does nothing) outside a
+  /// callback or when the firing event was cancelled mid-callback.
+  bool reschedule_current_in(Time delay);
 
   /// Executes the earliest pending event. Returns false if the queue is empty.
   bool step();
@@ -50,39 +65,73 @@ class Simulator {
   std::size_t run_until(Time t);
 
   /// Number of live (non-cancelled) pending events.
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
   /// Total events executed since construction (for micro-benchmarks).
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
-    Time t;
-    EventId id;
-    // Ordered as a min-heap: earliest time first, FIFO within a timestamp.
-    bool operator>(const Entry& o) const {
-      if (t != o.t) return t > o.t;
-      return id > o.id;
-    }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    Time t = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break within a timestamp
+    std::uint32_t generation = 1;
+    std::uint32_t heap_pos = kNoSlot;
+    std::uint32_t next_free = kNoSlot;
+    InlineFn fn;
   };
 
-  void pop_and_run(const Entry& e);
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);  // +1 keeps 0 == kInvalidEvent
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// True if the event keyed by slot `a` fires before the one in slot `b`.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.t != sb.t) return sa.t < sb.t;
+    return sa.seq < sb.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(std::uint32_t slot);
+  void heap_remove(std::size_t pos);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void fire_top();
 
   Time now_ = kTimeZero;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventId> cancelled_;
-  // Callback storage decoupled from the heap so cancels don't touch the heap.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+
+  std::vector<Slot> slots_;            // slab; grows, never shrinks
+  std::uint32_t free_head_ = kNoSlot;  // free-list through Slot::next_free
+  std::vector<std::uint32_t> heap_;    // indexed 4-ary min-heap of slots
+
+  // State of the callback currently running (kNoSlot outside fire_top).
+  std::uint32_t firing_slot_ = kNoSlot;
+  bool firing_cancelled_ = false;
+  bool firing_rearm_ = false;
+  Time firing_rearm_at_ = kTimeZero;
 };
 
 /// RAII periodic timer: runs `fn` every `interval` seconds starting at
 /// now + interval, until destroyed or stop()ped. Protocol refinement and
-/// stream sending use this.
+/// stream sending use this. The timer owns one slab slot for its whole
+/// lifetime — each tick re-arms in place, so steady state allocates nothing
+/// and the pending EventId never changes.
 class Periodic {
  public:
-  Periodic(Simulator& simulator, Time interval, std::function<void()> fn);
+  Periodic(Simulator& simulator, Time interval, InlineFn fn);
   ~Periodic();
   Periodic(const Periodic&) = delete;
   Periodic& operator=(const Periodic&) = delete;
@@ -91,11 +140,9 @@ class Periodic {
   bool running() const { return running_; }
 
  private:
-  void arm();
-
   Simulator& sim_;
   Time interval_;
-  std::function<void()> fn_;
+  InlineFn fn_;
   EventId pending_ = kInvalidEvent;
   bool running_ = true;
 };

@@ -1,0 +1,193 @@
+// Edge cases of the slab event engine (cancel semantics, slot reuse,
+// in-callback re-entrancy) plus the cross-engine determinism regression:
+// whole-run golden scalars that pin the bit-determinism contract across
+// event-engine rewrites.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "experiments/runner.hpp"
+
+namespace vdm::sim {
+namespace {
+
+TEST(SimulatorEdge, CancelInsideCallbackSuppressesLaterEvent) {
+  Simulator s;
+  std::vector<int> order;
+  EventId later = s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(1.0, [&] {
+    order.push_back(1);
+    s.cancel(later);
+  });
+  // Same-timestamp sibling scheduled after its canceller: FIFO runs the
+  // canceller first, so the sibling must never fire either.
+  EventId sibling = kInvalidEvent;
+  s.schedule_at(1.0, [&] { s.cancel(sibling); });
+  sibling = s.schedule_at(1.0, [&] { order.push_back(10); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SimulatorEdge, CancelAfterFireIsNoOp) {
+  Simulator s;
+  int fired = 0;
+  EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.cancel(id);          // already fired: ignored
+  s.cancel(id);          // twice: still ignored
+  s.cancel(kInvalidEvent);
+  EXPECT_EQ(s.pending(), 0u);
+
+  // The fired event's slot is back on the free list; the next schedule
+  // reuses it under a new generation. The stale id must not cancel it.
+  EventId reuse = s.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_NE(reuse, id);
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorEdge, CancelInsideOwnCallbackDoesNotBreakEngine) {
+  Simulator s;
+  int fired = 0;
+  EventId self = kInvalidEvent;
+  self = s.schedule_at(1.0, [&] {
+    ++fired;
+    s.cancel(self);  // cancelling the currently-firing event: benign
+  });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SimulatorEdge, PeriodicStopFromInsideOwnTick) {
+  Simulator s;
+  int ticks = 0;
+  std::unique_ptr<Periodic> timer;
+  timer = std::make_unique<Periodic>(s, 1.0, [&] {
+    if (++ticks == 3) timer->stop();
+  });
+  s.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(timer->running());
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+  timer->stop();  // idempotent after self-stop
+}
+
+TEST(SimulatorEdge, PendingIsAccurateUnderCancelChurn) {
+  Simulator s;
+  constexpr int kEvents = 1000;
+  int fired = 0;
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // Interleaved timestamps so cancellation hits every region of the heap.
+    const Time t = 1.0 + static_cast<Time>((i * 7919) % 101);
+    ids.push_back(s.schedule_at(t, [&] { ++fired; }));
+  }
+  EXPECT_EQ(s.pending(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending(), static_cast<std::size_t>(kEvents) / 2);
+  for (int i = 0; i < kEvents; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending(), static_cast<std::size_t>(kEvents) / 2);  // no-ops
+  s.run();
+  EXPECT_EQ(fired, kEvents / 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// ------------------------------------------------------------- determinism
+// Same-seed golden regression: run_once must produce these exact scalars.
+// The values were recorded from the pre-slab binary-heap engine; the slab
+// engine (and any future engine) must reproduce them bit for bit, because
+// the determinism contract — equal-timestamp events fire in scheduling
+// order, rng draw order unchanged — fixes every arithmetic operation of a
+// run. Hexfloat literals make the comparison exact, not within-epsilon.
+
+TEST(SimulatorEdge, RunOnceGoldenTransitStubVdm) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kTransitStub;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = 48;
+  cfg.link_loss_max = 0.02;
+  cfg.seed = 7;
+  const experiments::RunResult r = experiments::run_once(cfg);
+
+  EXPECT_EQ(r.stress, 0x1.fcf8f46985591p+0);
+  EXPECT_EQ(r.stress_max, 0x1.650d79435e50dp+2);
+  EXPECT_EQ(r.stretch, 0x1.1555c50e2bc1ap+1);
+  EXPECT_EQ(r.stretch_leaf, 0x1.2a400d3efa562p+1);
+  EXPECT_EQ(r.stretch_max, 0x1.a50f776acf428p+1);
+  EXPECT_EQ(r.stretch_min, 0x1p+0);
+  EXPECT_EQ(r.hopcount, 0x1.9035e50d79435p+2);
+  EXPECT_EQ(r.hop_leaf, 0x1.cc42cf5b92b51p+2);
+  EXPECT_EQ(r.hop_max, 0x1.6d79435e50d79p+3);
+  EXPECT_EQ(r.loss, 0x1.1914803009a11p-2);
+  EXPECT_EQ(r.overhead, 0x1.e215a5dca34f3p-9);
+  EXPECT_EQ(r.overhead_per_chunk, 0x1.158ed2308158ep-3);
+  EXPECT_EQ(r.network_usage, 0x1.9ffc85eea1505p+1);
+  EXPECT_EQ(r.startup_avg, 0x1.17eff506a8747p+1);
+  EXPECT_EQ(r.startup_max, 0x1.664d7696f627ap+2);
+  EXPECT_EQ(r.reconnect_avg, 0x1.79eb68f01f40fp-1);
+  EXPECT_EQ(r.reconnect_max, 0x1.011a3fae87488p+1);
+  EXPECT_EQ(r.mst_ratio, 0x1.d3963249efe53p+0);
+  EXPECT_EQ(r.final_members, 49u);
+}
+
+TEST(SimulatorEdge, RunOnceGoldenGeoVdmRefine) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kGeoUs;
+  cfg.protocol = experiments::Proto::kVdmRefine;
+  cfg.scenario.target_members = 32;
+  cfg.seed = 11;
+  const experiments::RunResult r = experiments::run_once(cfg);
+
+  EXPECT_EQ(r.stress, 0x1p+0);
+  EXPECT_EQ(r.stress_max, 0x1p+0);
+  EXPECT_EQ(r.stretch, 0x1.144ee97108c5fp+0);
+  EXPECT_EQ(r.stretch_leaf, 0x1.2002cee7f0584p+0);
+  EXPECT_EQ(r.stretch_max, 0x1.a9aabd69dbcdp+0);
+  EXPECT_EQ(r.stretch_min, 0x1.61bc39046144ap-1);
+  EXPECT_EQ(r.hopcount, 0x1.84p+1);
+  EXPECT_EQ(r.hop_leaf, 0x1.de6064d5f49acp+1);
+  EXPECT_EQ(r.hop_max, 0x1.7286bca1af287p+2);
+  EXPECT_EQ(r.loss, 0x1.8d29935eb1794p-14);
+  EXPECT_EQ(r.overhead, 0x1.2659bcd8f8a33p-4);
+  EXPECT_EQ(r.overhead_per_chunk, 0x1.26cbb8dbe3f98p+1);
+  EXPECT_EQ(r.network_usage, 0x1.77ec1dccd18e4p-3);
+  EXPECT_EQ(r.startup_avg, 0x1.a06a02bf9365ap-3);
+  EXPECT_EQ(r.startup_max, 0x1.3e60b84d57a96p-1);
+  EXPECT_EQ(r.reconnect_avg, 0x1.3bdd9aa9ee546p-4);
+  EXPECT_EQ(r.reconnect_max, 0x1.223aac95f5648p-2);
+  EXPECT_EQ(r.mst_ratio, 0x1.f4a6e95587e9ap+0);
+  EXPECT_EQ(r.final_members, 33u);
+}
+
+// Two engines in one process, interleaved, must not perturb each other
+// (the slab and its rng-free heap are per-instance state).
+TEST(SimulatorEdge, IndependentSimulatorsDoNotInterfere) {
+  Simulator a;
+  Simulator b;
+  int fa = 0;
+  int fb = 0;
+  a.schedule_at(1.0, [&] { ++fa; });
+  b.schedule_at(1.0, [&] { ++fb; });
+  a.schedule_at(2.0, [&] { ++fa; });
+  EXPECT_TRUE(a.step());
+  EXPECT_TRUE(b.step());
+  EXPECT_TRUE(a.step());
+  EXPECT_EQ(fa, 2);
+  EXPECT_EQ(fb, 1);
+  EXPECT_FALSE(b.step());
+}
+
+}  // namespace
+}  // namespace vdm::sim

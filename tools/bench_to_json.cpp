@@ -125,6 +125,64 @@ std::string format_entry(const std::string& label, const std::vector<BenchRow>& 
   return out.str();
 }
 
+/// Splits a trajectory array into its top-level entry objects. A tolerant
+/// brace scanner (string-aware) rather than a JSON parser: the file is
+/// machine-written, but hand edits should not silently corrupt it either —
+/// returns false when the text is not a single well-formed array.
+bool split_entries(const std::string& text, std::vector<std::string>& entries) {
+  std::size_t depth = 0;
+  bool in_string = false;
+  bool seen_array = false;
+  std::size_t entry_start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[':
+        if (depth == 0) {
+          if (seen_array) return false;  // two arrays side by side
+          seen_array = true;
+        }
+        ++depth;
+        break;
+      case '{':
+        if (depth == 1) entry_start = i;
+        ++depth;
+        break;
+      case '}':
+        if (depth == 0) return false;
+        --depth;
+        if (depth == 1) entries.push_back(text.substr(entry_start, i + 1 - entry_start));
+        break;
+      case ']':
+        if (depth == 0) return false;
+        --depth;
+        break;
+      default: break;
+    }
+  }
+  return seen_array && depth == 0 && !in_string;
+}
+
+/// Extracts the value of the first "label" key of an entry.
+std::string entry_label(const std::string& entry) {
+  const std::string key = "\"label\": \"";
+  const std::size_t at = entry.find(key);
+  if (at == std::string::npos) return "";
+  std::string out;
+  for (std::size_t i = at + key.size(); i < entry.size(); ++i) {
+    if (entry[i] == '\\' && i + 1 < entry.size()) { out.push_back(entry[++i]); continue; }
+    if (entry[i] == '"') break;
+    out.push_back(entry[i]);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,9 +212,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Append to the existing trajectory array (created by this tool), or
-  // start a new one. The file is machine-written, so splicing before the
-  // closing bracket is safe.
+  // Rewrite the trajectory array: re-running under an already-used label
+  // replaces that entry in place (one entry per label — repeated local
+  // bench runs must not pile up duplicates), a fresh label appends.
   std::string existing;
   {
     std::ifstream prior(out_path);
@@ -166,32 +224,44 @@ int main(int argc, char** argv) {
       existing = buf.str();
     }
   }
-  while (!existing.empty() && std::isspace(static_cast<unsigned char>(existing.back()))) {
-    existing.pop_back();
+
+  std::vector<std::string> entries;
+  bool has_content = false;
+  for (const char c : existing) {
+    if (!std::isspace(static_cast<unsigned char>(c))) { has_content = true; break; }
   }
+  if (has_content && !split_entries(existing, entries)) {
+    std::cerr << "bench_to_json: " << out_path
+              << " is not a trajectory array; refusing to overwrite\n";
+    return 1;
+  }
+
+  bool replaced = false;
+  const std::string entry = format_entry(label, rows);
+  for (std::string& e : entries) {
+    if (entry_label(e) == label) {
+      e = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries.push_back(entry);
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {
     std::cerr << "bench_to_json: cannot write " << out_path << "\n";
     return 1;
   }
-  if (existing.empty()) {
-    out << "[\n" << format_entry(label, rows) << "\n]\n";
-  } else if (existing.back() == ']') {
-    existing.pop_back();
-    while (!existing.empty() &&
-           std::isspace(static_cast<unsigned char>(existing.back()))) {
-      existing.pop_back();
-    }
-    const bool was_empty_array = !existing.empty() && existing.back() == '[';
-    out << existing << (was_empty_array ? "\n" : ",\n")
-        << format_entry(label, rows) << "\n]\n";
-  } else {
-    std::cerr << "bench_to_json: " << out_path
-              << " is not a trajectory array; refusing to overwrite\n";
-    return 1;
+  out << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string& e = entries[i];
+    const std::size_t start = e.find_first_not_of(" \t\n");
+    out << "  " << (start == std::string::npos ? e : e.substr(start))
+        << (i + 1 < entries.size() ? "," : "") << "\n";
   }
-  std::cout << "bench_to_json: appended \"" << label << "\" (" << rows.size()
-            << " benchmarks) to " << out_path << "\n";
+  out << "]\n";
+  std::cout << "bench_to_json: " << (replaced ? "replaced" : "appended")
+            << " \"" << label << "\" (" << rows.size() << " benchmarks) in "
+            << out_path << "\n";
   return 0;
 }
