@@ -85,6 +85,31 @@ BENCHMARK(BM_RunOnceTransitStub)
     ->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
+/// run_once under the full failure model: every churn departure is an
+/// ungraceful crash, children run heartbeat detection, and the control
+/// plane drops and retries messages. Tracks the cost of the fault path
+/// (detection timers + orphan walks + retry draws) relative to
+/// BM_RunOnceTransitStub at the same size.
+void BM_RunOnceCrashChurn(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kTransitStub;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = static_cast<std::size_t>(state.range(0));
+  cfg.scenario.churn_rate = 0.10;
+  cfg.scenario.crash_fraction = 1.0;
+  cfg.session.faults.heartbeat_period = 1.0;
+  cfg.session.faults.heartbeat_misses = 3;
+  cfg.session.faults.heartbeat_timeout = 0.5;
+  cfg.session.faults.lossy_control = true;
+  cfg.session.faults.control_loss_extra = 0.01;
+  cfg.seed = 7;
+  for (auto _ : state) {
+    experiments::RunResult r = experiments::run_once(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RunOnceCrashChurn)->Arg(200)->Unit(benchmark::kMillisecond);
+
 // ------------------------------------------------------------ event engine
 
 /// The event engine alone: schedule/fire churn with a live timer population

@@ -14,12 +14,14 @@ OpStats BtpProtocol::execute_join(Session& s, net::HostId n, net::HostId start) 
   OpStats stats;
   overlay::Membership& tree = s.tree();
   net::HostId cur = start;
-  if (!s.eligible_parent(n, cur)) cur = s.source();
+  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
+    cur = s.source();
+  }
 
   // BTP connects straight to the contacted node; when it is saturated,
-  // walk down through its closest child until a slot is found (the
-  // original protocol simply rejects, but a streaming session must place
-  // every viewer somewhere).
+  // walk down through its closest capacity-bearing child until a slot is
+  // found (the original protocol simply rejects, but a streaming session
+  // must place every viewer somewhere).
   for (;;) {
     ++stats.iterations;
     s.charge_exchange(n, cur, stats);
@@ -28,13 +30,21 @@ OpStats BtpProtocol::execute_join(Session& s, net::HostId n, net::HostId start) 
     for (const net::HostId c : tree.member(cur).children) {
       if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
     }
-    VDM_REQUIRE_MSG(!kids.empty(), "saturated leaf cannot exist");
+    VDM_REQUIRE_MSG(!kids.empty(), "walk entered a subtree without capacity");
+    // Probe every child (the message cost BTP pays) but only step into a
+    // subtree that still has an attachment point.
     const std::vector<double> dist = s.measure_parallel(n, kids, stats);
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < kids.size(); ++i) {
-      if (dist[i] < dist[best]) best = i;
+    net::HostId best = net::kInvalidHost;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (dist[i] < best_d && tree.subtree_has_capacity(kids[i], n)) {
+        best_d = dist[i];
+        best = kids[i];
+      }
     }
-    cur = kids[best];
+    VDM_REQUIRE_MSG(best != net::kInvalidHost,
+                    "walk entered a subtree without capacity");
+    cur = best;
   }
   const double d = s.measure(n, cur, stats);
   s.charge_exchange(n, cur, stats);  // connection handshake

@@ -15,7 +15,12 @@ HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
                                                 OpStats& stats) const {
   overlay::Membership& tree = s.tree();
   net::HostId cur = start;
-  if (!s.eligible_parent(n, cur)) cur = s.source();
+  // A start node whose subtree has no free slot (a saturated degree-1 leaf,
+  // say a crashed orphan's grandparent) would dead-end the walk — restart
+  // from the source, whose subtree is the whole tree.
+  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
+    cur = s.source();
+  }
   VDM_REQUIRE(s.eligible_parent(n, cur));
 
   double d_cur = s.measure(n, cur, stats);
@@ -34,7 +39,7 @@ HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
     for (std::size_t i = 1; i < kids.size(); ++i) {
       if (dist[i] < dist[closest]) closest = i;
     }
-    if (dist[closest] < d_cur) {
+    if (dist[closest] < d_cur && tree.subtree_has_capacity(kids[closest], n)) {
       // A child is closer than the current node. U-turn check first: if the
       // newcomer lies between the current node and that child (it is closer
       // to the current node than the child is), descending would hang N
@@ -63,7 +68,8 @@ HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
     // available child").
     net::HostId best_free = net::kInvalidHost;
     double best_free_d = std::numeric_limits<double>::infinity();
-    std::size_t best_any = 0;
+    net::HostId best_any = net::kInvalidHost;
+    double best_any_d = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < kids.size(); ++i) {
       const bool has_room =
           tree.member(kids[i]).has_free_degree() || tree.member(n).parent == kids[i];
@@ -71,13 +77,19 @@ HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
         best_free_d = dist[i];
         best_free = kids[i];
       }
-      if (dist[i] < dist[best_any]) best_any = i;
+      if (dist[i] < best_any_d && tree.subtree_has_capacity(kids[i], n)) {
+        best_any_d = dist[i];
+        best_any = kids[i];
+      }
     }
     if (best_free != net::kInvalidHost) return {best_free, best_free_d};
 
-    // Every child saturated as well: keep descending through the closest.
-    cur = kids[best_any];
-    d_cur = dist[best_any];
+    // Every child saturated as well: keep descending through the closest
+    // subtree that still has an attachment point.
+    VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
+                    "search entered a subtree without capacity");
+    cur = best_any;
+    d_cur = best_any_d;
   }
 }
 

@@ -10,25 +10,30 @@ overlay::OpStats RandomProtocol::execute_join(overlay::Session& s,
   overlay::OpStats stats;
   overlay::Membership& tree = s.tree();
   net::HostId cur = start;
-  if (!s.eligible_parent(n, cur)) cur = s.source();
+  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
+    cur = s.source();
+  }
 
   // Random walk: at each node, either stop here (if it has room) with
-  // probability 1/2, or step to a random child. Terminates because a leaf
-  // always has room.
+  // probability 1/2, or step to a random child whose subtree still has
+  // capacity. Terminates because the walk never leaves a capacity-bearing
+  // subtree.
   for (;;) {
     ++stats.iterations;
     s.charge_exchange(n, cur, stats);
-    std::vector<net::HostId> kids;
+    std::vector<net::HostId> steppable;
     for (const net::HostId c : tree.member(cur).children) {
-      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
+      if (c != n && s.eligible_parent(n, c) && tree.subtree_has_capacity(c, n)) {
+        steppable.push_back(c);
+      }
     }
     const bool has_room = tree.member(cur).has_free_degree();
-    if (kids.empty() || (has_room && s.rng().chance(0.5))) {
+    if (steppable.empty() || (has_room && s.rng().chance(0.5))) {
       if (has_room) break;
-      VDM_REQUIRE_MSG(!kids.empty(), "saturated leaf cannot exist");
+      VDM_REQUIRE_MSG(!steppable.empty(), "walk entered a subtree without capacity");
     }
-    cur = kids[static_cast<std::size_t>(
-        s.rng().uniform_int(0, static_cast<std::int64_t>(kids.size()) - 1))];
+    cur = steppable[static_cast<std::size_t>(
+        s.rng().uniform_int(0, static_cast<std::int64_t>(steppable.size()) - 1))];
   }
   const double dist = s.measure(n, cur, stats);
   s.charge_exchange(n, cur, stats);

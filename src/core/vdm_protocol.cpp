@@ -17,10 +17,19 @@ VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
                                              OpStats& stats) const {
   overlay::Membership& tree = s.tree();
   const overlay::MemberState& nm = tree.member(n);
-  const int free_slots = nm.degree_limit - static_cast<int>(nm.children.size());
+  // Slots the joiner can offer adopted children: its limit minus existing
+  // children minus the parent link the attach itself will occupy (a joiner
+  // is never the source, so it always ends up with an uplink).
+  const int free_slots =
+      nm.degree_limit - static_cast<int>(nm.children.size()) - 1;
 
   net::HostId cur = start;
-  if (!s.eligible_parent(n, cur)) cur = s.source();
+  // Restart from the source when the contacted node is ineligible or its
+  // subtree has no attachment point left (e.g. a saturated degree-1 leaf
+  // offered as a reconnection grandparent).
+  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
+    cur = s.source();
+  }
   VDM_REQUIRE(s.eligible_parent(n, cur));
 
   for (;;) {
@@ -58,7 +67,9 @@ VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
       }
       switch (dir) {
         case DirCase::kCaseIII:
-          if (d_nc < best3_dist) {
+          // Only descend into a subtree that still has an attachment point
+          // for us; otherwise the search dead-ends at saturated leaves.
+          if (d_nc < best3_dist && tree.subtree_has_capacity(kids[i], n)) {
             best3_dist = d_nc;
             best3 = kids[i];
           }
@@ -121,7 +132,7 @@ VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
         best_free_d = d_nc;
         best_free = kids[i];
       }
-      if (d_nc < best_any_d) {
+      if (d_nc < best_any_d && tree.subtree_has_capacity(kids[i], n)) {
         best_any_d = d_nc;
         best_any = kids[i];
       }
@@ -132,10 +143,10 @@ VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
     }
 
     // ... and if every child is saturated too, keep descending through the
-    // closest one (a full node always has children, so this terminates at
-    // some leaf, which by degree_limit >= 1 has room).
+    // closest subtree that still has capacity (the search never enters a
+    // capacity-free subtree, so one must exist here).
     VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
-                    "full node without children cannot exist");
+                    "join search entered a subtree without capacity");
     ++case_stats_.full_fallback_descend;
     cur = best_any;
   }
@@ -184,7 +195,13 @@ OpStats VdmProtocol::execute_refine(Session& session, net::HostId node) {
   // Re-run the join search from the source; switch only if it lands on a
   // different parent (§3.4).
   const JoinPlan plan = plan_join(session, node, session.source(), stats);
-  if (plan.parent == m.parent) return stats;
+  if (plan.parent == m.parent) {
+    // No switch — but the search just re-measured d(N,P); keep the parent's
+    // stored distance fresh so later directionality classifications at P
+    // use current numbers instead of the join-time measurement.
+    tree.update_child_distance(m.parent, node, plan.parent_dist);
+    return stats;
+  }
 
   tree.detach(node);
   apply_plan(session, node, plan, stats);

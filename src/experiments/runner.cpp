@@ -200,6 +200,12 @@ RunResult run_once(const RunConfig& config) {
   r.startup_max = max_or_zero(startups);
   r.reconnect_avg = mean_or_zero(reconnects);
   r.reconnect_max = max_or_zero(reconnects);
+  const std::vector<double> detections = collector.all_detection_times();
+  const std::vector<double> outages = collector.all_outage_times();
+  r.detection_avg = mean_or_zero(detections);
+  r.detection_max = max_or_zero(detections);
+  r.outage_avg = mean_or_zero(outages);
+  r.outage_max = max_or_zero(outages);
 
   r.mst_ratio = baselines::mst_ratio(session.tree(), session.source(), *underlay);
   r.final_members = session.tree().alive_members().size();
@@ -268,6 +274,10 @@ AggregateResult run_many(const RunConfig& config, std::size_t num_seeds,
   agg.startup_max = summarize_field(&RunResult::startup_max);
   agg.reconnect_avg = summarize_field(&RunResult::reconnect_avg);
   agg.reconnect_max = summarize_field(&RunResult::reconnect_max);
+  agg.detection_avg = summarize_field(&RunResult::detection_avg);
+  agg.detection_max = summarize_field(&RunResult::detection_max);
+  agg.outage_avg = summarize_field(&RunResult::outage_avg);
+  agg.outage_max = summarize_field(&RunResult::outage_max);
   agg.mst_ratio = summarize_field(&RunResult::mst_ratio);
   agg.runs = std::move(runs);
   return agg;

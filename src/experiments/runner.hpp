@@ -82,6 +82,12 @@ struct RunResult {
   double startup_max = 0.0;
   double reconnect_avg = 0.0;
   double reconnect_max = 0.0;
+  /// Crash-detection latency and full outage (detection + rejoin) over the
+  /// run's crash recoveries; 0 when no crash churn (or no heartbeats) ran.
+  double detection_avg = 0.0;
+  double detection_max = 0.0;
+  double outage_avg = 0.0;
+  double outage_max = 0.0;
   /// Tree-cost / MST-cost on the final settled tree (Figure 5.31).
   double mst_ratio = 1.0;
   std::size_t final_members = 0;
@@ -96,7 +102,8 @@ RunResult run_once(const RunConfig& config);
 struct AggregateResult {
   util::Summary stress, stretch, stretch_leaf, stretch_max, hopcount, hop_leaf,
       hop_max, loss, overhead, overhead_per_chunk, network_usage, startup_avg,
-      startup_max, reconnect_avg, reconnect_max, mst_ratio;
+      startup_max, reconnect_avg, reconnect_max, detection_avg, detection_max,
+      outage_avg, outage_max, mst_ratio;
   std::vector<RunResult> runs;
 };
 

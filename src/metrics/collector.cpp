@@ -32,7 +32,14 @@ void Collector::capture(sim::Time at) {
     return out;
   };
   e.startup_times = to_durations(s.take_startup_records());
-  e.reconnect_times = to_durations(s.take_reconnect_records());
+  const std::vector<overlay::TimingRecord> reconnects = s.take_reconnect_records();
+  e.reconnect_times = to_durations(reconnects);
+  for (const auto& r : reconnects) {
+    if (r.detection > 0.0) {
+      e.detection_times.push_back(r.detection);
+      e.outage_times.push_back(r.detection + r.duration);
+    }
+  }
 
   samples_.push_back(std::move(e));
   s.reset_window();
@@ -80,6 +87,20 @@ std::vector<double> Collector::all_reconnect_times() const {
   std::vector<double> out;
   for (const auto& e : samples_)
     out.insert(out.end(), e.reconnect_times.begin(), e.reconnect_times.end());
+  return out;
+}
+
+std::vector<double> Collector::all_detection_times() const {
+  std::vector<double> out;
+  for (const auto& e : samples_)
+    out.insert(out.end(), e.detection_times.begin(), e.detection_times.end());
+  return out;
+}
+
+std::vector<double> Collector::all_outage_times() const {
+  std::vector<double> out;
+  for (const auto& e : samples_)
+    out.insert(out.end(), e.outage_times.begin(), e.outage_times.end());
   return out;
 }
 

@@ -27,6 +27,11 @@ struct EpochSample {
 
   std::vector<double> startup_times;
   std::vector<double> reconnect_times;
+  /// Failure-detection latencies of the window's crash recoveries (records
+  /// whose TimingRecord::detection > 0); empty without heartbeat churn.
+  std::vector<double> detection_times;
+  /// Full viewer-visible outages of those recoveries: detection + rejoin.
+  std::vector<double> outage_times;
 };
 
 /// Captures epochs from a Session at measurement points and aggregates them
@@ -57,6 +62,9 @@ class Collector {
   /// All startup / reconnection durations across all epochs.
   std::vector<double> all_startup_times() const;
   std::vector<double> all_reconnect_times() const;
+  /// All crash-detection latencies / full outage durations across epochs.
+  std::vector<double> all_detection_times() const;
+  std::vector<double> all_outage_times() const;
 
  private:
   overlay::Session* session_;

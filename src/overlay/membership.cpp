@@ -14,6 +14,7 @@ void Membership::activate(HostId h, int degree_limit) {
   m = MemberState{};
   m.alive = true;
   m.degree_limit = degree_limit;
+  if (degree_limit == 1) ++limit1_alive_;
 }
 
 std::vector<HostId> Membership::deactivate(HostId h) {
@@ -30,6 +31,7 @@ std::vector<HostId> Membership::deactivate(HostId h) {
   m.children.clear();
   m.child_dist.clear();
   m.alive = false;
+  if (m.degree_limit == 1) --limit1_alive_;
   return orphans;
 }
 
@@ -79,6 +81,34 @@ double Membership::stored_child_distance(HostId parent, HostId child) const {
   const auto it = pm.child_dist.find(child);
   VDM_REQUIRE_MSG(it != pm.child_dist.end(), "no stored distance for this edge");
   return it->second;
+}
+
+void Membership::update_child_distance(HostId parent, HostId child,
+                                       double measured_dist) {
+  VDM_REQUIRE(measured_dist >= 0.0);
+  MemberState& pm = members_.at(parent);
+  const auto it = pm.child_dist.find(child);
+  VDM_REQUIRE_MSG(it != pm.child_dist.end(), "no stored distance for this edge");
+  it->second = measured_dist;
+}
+
+bool Membership::subtree_has_capacity(HostId root, HostId exclude) const {
+  if (limit1_alive_ == 0) return true;
+  if (root == exclude) return false;
+  // DFS over the subtree looking for any member with a free slot; `exclude`
+  // (typically a refining node) and everything below it are skipped so a
+  // node never counts capacity it would detach from the subtree itself.
+  std::vector<HostId> stack{root};
+  while (!stack.empty()) {
+    const HostId at = stack.back();
+    stack.pop_back();
+    const MemberState& m = members_.at(at);
+    if (m.has_free_degree()) return true;
+    for (const HostId c : m.children) {
+      if (c != exclude) stack.push_back(c);
+    }
+  }
+  return false;
 }
 
 bool Membership::is_ancestor(HostId ancestor, HostId node) const {
@@ -138,15 +168,21 @@ void Membership::validate() const {
                       "dead member still wired into the tree");
       continue;
     }
-    VDM_REQUIRE_MSG(static_cast<int>(m.children.size()) <= m.degree_limit,
-                    "degree limit exceeded");
+    VDM_REQUIRE_MSG(m.overlay_links() <= m.degree_limit,
+                    "degree limit exceeded (children + parent link > limit)");
     VDM_REQUIRE_MSG(m.child_dist.size() == m.children.size(),
                     "child distance table out of sync");
     for (const HostId c : m.children) {
       VDM_REQUIRE_MSG(members_.at(c).alive, "dead child in children list");
       VDM_REQUIRE_MSG(members_.at(c).parent == h, "child does not point back");
-      VDM_REQUIRE_MSG(members_.at(c).grandparent == m.parent,
-                      "grandparent pointer stale");
+      // A detached member's children legitimately keep their previous
+      // grandparent until it re-attaches (grandparent updates ride on
+      // reconnection messages, see detach()) — e.g. the subtree of a
+      // crash orphan awaiting failure detection.
+      if (m.parent != kInvalidHost) {
+        VDM_REQUIRE_MSG(members_.at(c).grandparent == m.parent,
+                        "grandparent pointer stale");
+      }
       VDM_REQUIRE_MSG(m.child_dist.count(c) == 1, "missing stored distance");
     }
     if (m.parent != kInvalidHost) {

@@ -52,9 +52,15 @@ struct MemberState {
   /// the child connected (the state a parent reports in info responses).
   std::unordered_map<HostId, double> child_dist;
 
-  bool has_free_degree() const {
-    return static_cast<int>(children.size()) < degree_limit;
+  /// Number of overlay links this member currently holds: its children plus
+  /// its own uplink. DESIGN.md invariant 2 bounds *links*, not children —
+  /// an interior node's uplink consumes one unit of its capacity, so a node
+  /// with limit L can feed at most L-1 children (the root, having no
+  /// parent link, can feed L).
+  int overlay_links() const {
+    return static_cast<int>(children.size()) + (parent != kInvalidHost ? 1 : 0);
   }
+  bool has_free_degree() const { return overlay_links() < degree_limit; }
   bool is_root() const { return alive && parent == kInvalidHost; }
 };
 
@@ -103,6 +109,19 @@ class Membership {
   /// Distance parent -> child as stored at the parent; requires the edge.
   double stored_child_distance(HostId parent, HostId child) const;
 
+  /// Refreshes the stored distance of an existing edge (a re-measurement
+  /// during refinement that kept the same parent must not leave the old
+  /// value behind — later directionality classifications read it).
+  void update_child_distance(HostId parent, HostId child, double measured_dist);
+
+  /// True if `root`'s subtree (excluding `exclude` and everything below it)
+  /// contains a member that can still accept a child. O(1) whenever no
+  /// degree-limit-1 member is alive: such members are the only possible
+  /// saturated leaves, and every subtree bottoms out in leaves, so capacity
+  /// is otherwise guaranteed. Protocol searches use this to avoid
+  /// descending into a subtree with no attachment point.
+  bool subtree_has_capacity(HostId root, HostId exclude = kInvalidHost) const;
+
   /// True if `ancestor` appears on `node`'s root path (or equals it).
   bool is_ancestor(HostId ancestor, HostId node) const;
 
@@ -129,6 +148,11 @@ class Membership {
   void refresh_grandparent_of_children(HostId node);
 
   std::vector<MemberState> members_;
+  /// Count of alive members with degree_limit == 1. Such members are the
+  /// only ones that can be saturated leaves (limit >= 2 leaves always have
+  /// a free slot), so subtree_has_capacity() short-circuits to true while
+  /// this is zero — the common configuration.
+  int limit1_alive_ = 0;
 };
 
 }  // namespace vdm::overlay

@@ -38,6 +38,7 @@ ScenarioDriver::ScenarioDriver(Session& session, const ScenarioParams& params,
   VDM_REQUIRE_MSG(params_.target_members < session.underlay().num_hosts(),
                   "need spare hosts beyond the target membership for churn");
   VDM_REQUIRE(params_.churn_rate >= 0.0 && params_.churn_rate <= 1.0);
+  VDM_REQUIRE(params_.crash_fraction >= 0.0 && params_.crash_fraction <= 1.0);
   VDM_REQUIRE(params_.settle_time < params_.churn_interval);
   for (net::HostId h = 0; h < session.underlay().num_hosts(); ++h) {
     if (h != session.source()) available_.push_back(h);
@@ -84,6 +85,16 @@ void ScenarioDriver::do_leave(net::HostId h) {
   available_.push_back(h);
 }
 
+void ScenarioDriver::do_crash(net::HostId h) {
+  session_.crash(h);
+  pending_leave_[h] = 0;
+  const auto it = std::find(in_overlay_.begin(), in_overlay_.end(), h);
+  VDM_REQUIRE(it != in_overlay_.end());
+  *it = in_overlay_.back();
+  in_overlay_.pop_back();
+  available_.push_back(h);
+}
+
 void ScenarioDriver::schedule_initial_joins() {
   sim::Simulator& sim = session_.simulator();
   for (std::size_t i = 0; i < params_.target_members; ++i) {
@@ -114,7 +125,17 @@ void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
       for (std::size_t i = 0; i < churn_count; ++i) {
         const net::HostId victim = draw_victim();
         if (victim != net::kInvalidHost) {
-          s.schedule_in(rng_.uniform(0.0, active_span), [this, victim] { do_leave(victim); });
+          // crash_fraction == 0 short-circuits before chance(), leaving the
+          // rng stream of all-graceful runs untouched.
+          const bool crash = params_.crash_fraction > 0.0 &&
+                             rng_.chance(params_.crash_fraction);
+          if (crash) {
+            s.schedule_in(rng_.uniform(0.0, active_span),
+                          [this, victim] { do_crash(victim); });
+          } else {
+            s.schedule_in(rng_.uniform(0.0, active_span),
+                          [this, victim] { do_leave(victim); });
+          }
         }
         const net::HostId joiner = draw_available();
         s.schedule_in(rng_.uniform(0.0, active_span), [this, joiner] { do_join(joiner); });

@@ -39,6 +39,10 @@ struct ScenarioParams {
   sim::Time churn_interval = 400.0;
   /// Fraction of target_members replaced (leave + join) per interval.
   double churn_rate = 0.05;
+  /// Probability that a churn departure is an ungraceful crash
+  /// (Session::crash — no leave notice) instead of a graceful leave.
+  /// 0 reproduces the all-graceful timeline bit for bit.
+  double crash_fraction = 0.0;
   /// Quiet period before each measurement.
   sim::Time settle_time = 100.0;
   DegreeSpec degrees = DegreeSpec::uniform(2, 5);
@@ -76,6 +80,7 @@ class ScenarioDriver {
   void schedule_batched_joins(const MeasureFn& on_measure);
   void do_join(net::HostId h);
   void do_leave(net::HostId h);
+  void do_crash(net::HostId h);
   net::HostId draw_available();
   net::HostId draw_victim();
 

@@ -34,6 +34,11 @@ void Session::start() {
 void Session::stop() {
   stream_timer_.reset();
   refine_timers_.clear();
+  for (auto& [h, hb] : heartbeats_) {
+    if (hb.pending_detect != sim::kInvalidEvent) sim_.cancel(hb.pending_detect);
+  }
+  heartbeats_.clear();
+  crash_orphans_.clear();
 }
 
 TimingRecord Session::join(net::HostId h, int degree_limit) {
@@ -47,7 +52,8 @@ TimingRecord Session::join(net::HostId h, int degree_limit) {
   return rec;
 }
 
-TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconnect) {
+TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconnect,
+                               sim::Time detection) {
   OpStats stats = protocol_.execute_join(*this, h, start);
   VDM_REQUIRE_MSG(tree_.member(h).parent != kInvalidHost,
                   "protocol join must attach the node");
@@ -58,6 +64,7 @@ TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconne
   rec.at = sim_.now();
   rec.host = h;
   rec.duration = stats.elapsed;
+  rec.detection = detection;
   rec.messages = stats.messages;
   rec.iterations = stats.iterations;
 
@@ -74,10 +81,19 @@ TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconne
     ++window_.joins_completed;
     ++totals_.joins_completed;
   }
+  // Every attached member probes its parent; (re)arming here covers plain
+  // joins, graceful-leave reconnections and crash recoveries uniformly.
+  ensure_heartbeat(h);
   // No validate() here: during a multi-orphan leave, siblings of this
   // orphan are still detached with (legitimately) stale pointers. The
   // callers validate at the end of the whole operation.
   return rec;
+}
+
+net::HostId Session::reconnect_start(net::HostId orphan) const {
+  const net::HostId gp = tree_.member(orphan).grandparent;
+  if (gp != kInvalidHost && eligible_parent(orphan, gp)) return gp;
+  return params_.source;
 }
 
 void Session::leave(net::HostId h) {
@@ -95,21 +111,54 @@ void Session::leave(net::HostId h) {
   totals_.control_messages += notice.messages;
 
   disarm_refinement(h);
+  disarm_heartbeat(h);
+  forget_crash_orphan(h);
   const std::vector<net::HostId> orphans = tree_.deactivate(h);
 
   // Each orphan reconnects on its own, starting at its grandparent if that
   // node is still alive, else at the source (§3.3). Orphans act in child
   // order — deterministic, and equivalent to near-simultaneous recovery.
   for (const net::HostId orphan : orphans) {
-    const MemberState& om = tree_.member(orphan);
-    net::HostId start = om.grandparent;
-    if (start == kInvalidHost || !tree_.member(start).alive ||
-        !eligible_parent(orphan, start)) {
-      start = params_.source;
-    }
-    run_join(orphan, start, /*is_reconnect=*/true);
+    run_join(orphan, reconnect_start(orphan), /*is_reconnect=*/true);
   }
   if (params_.paranoid_checks) tree_.validate();
+}
+
+void Session::crash(net::HostId h) {
+  VDM_REQUIRE(started_);
+  VDM_REQUIRE_MSG(h != params_.source, "the source never crashes");
+  VDM_REQUIRE(tree_.member(h).alive);
+  ++window_.crashes;
+  ++totals_.crashes;
+
+  // No leave notice, no notification messages: the node just vanishes.
+  disarm_refinement(h);
+  disarm_heartbeat(h);
+  forget_crash_orphan(h);  // h may itself still be an undetected orphan
+  const std::vector<net::HostId> orphans = tree_.deactivate(h);
+
+  if (params_.faults.heartbeat_period <= 0.0) {
+    // No failure detector configured: model instant detection, i.e. the
+    // orphans reconnect immediately as after a graceful leave (but the
+    // crashed node still paid no notification messages).
+    for (const net::HostId orphan : orphans) {
+      run_join(orphan, reconnect_start(orphan), /*is_reconnect=*/true);
+    }
+    if (params_.paranoid_checks) tree_.validate();
+    return;
+  }
+
+  // With heartbeats, the orphans stay detached — their probes now go
+  // unanswered and complete_detection() reconnects them once the miss
+  // streak plus timeout elapses. Until then the data plane counts their
+  // subtrees as expecting-but-not-receiving (see emit_chunk).
+  const sim::Time now = sim_.now();
+  for (const net::HostId orphan : orphans) {
+    HeartbeatState& hb = heartbeats_.at(orphan);
+    hb.orphaned = true;
+    hb.orphaned_at = now;
+    crash_orphans_.push_back(orphan);
+  }
 }
 
 OpStats Session::refine(net::HostId h) {
@@ -131,8 +180,7 @@ OpStats Session::refine(net::HostId h) {
 double Session::measure(net::HostId from, net::HostId to, OpStats& stats) {
   MetricProvider::Cost cost;
   const double v = metric_.measure_with_cost(underlay_, from, to, rng_, cost);
-  stats.messages += cost.messages;
-  stats.elapsed += cost.elapsed;
+  stats.elapsed += lossy_elapsed(from, to, cost.messages, cost.elapsed, stats);
   return v;
 }
 
@@ -145,16 +193,42 @@ std::vector<double> Session::measure_parallel(net::HostId from,
   for (const net::HostId t : targets) {
     MetricProvider::Cost cost;
     out.push_back(metric_.measure_with_cost(underlay_, from, t, rng_, cost));
-    stats.messages += cost.messages;
-    slowest = std::max(slowest, cost.elapsed);
+    slowest = std::max(slowest,
+                       lossy_elapsed(from, t, cost.messages, cost.elapsed, stats));
   }
   stats.elapsed += slowest;
   return out;
 }
 
 void Session::charge_exchange(net::HostId from, net::HostId with, OpStats& stats) {
-  stats.messages += 2;
-  stats.elapsed += underlay_.rtt(from, with);
+  stats.elapsed += lossy_elapsed(from, with, 2, underlay_.rtt(from, with), stats);
+}
+
+sim::Time Session::lossy_elapsed(net::HostId from, net::HostId with, int messages,
+                                 sim::Time base, OpStats& stats) {
+  stats.messages += messages;
+  const FaultParams& f = params_.faults;
+  if (!f.lossy_control) return base;
+  // An exchange survives only if both the request and the reply get
+  // through; each leg drops with the path loss compounded by the extra
+  // control-plane loss. p == 0 draws nothing (Rng::chance contract), so a
+  // lossless underlay with the knob at zero stays bit-identical.
+  const double p =
+      1.0 - (1.0 - underlay_.loss(from, with)) * (1.0 - f.control_loss_extra);
+  if (p <= 0.0) return base;
+  sim::Time waited = 0.0;
+  double timeout = f.retry_timeout;
+  for (int attempt = 0; attempt < f.max_retries; ++attempt) {
+    const bool lost = rng_.chance(p) || rng_.chance(p);  // request, then reply
+    if (!lost) return waited + base;
+    stats.messages += messages;  // the retransmission
+    waited += timeout;
+    timeout = std::min(timeout * f.backoff_factor, f.retry_timeout_max);
+  }
+  // Retries exhausted: the control channel is reliable-with-retries — loss
+  // manifests as latency and message overhead, never as protocol failure —
+  // so the final retransmission is treated as delivered.
+  return waited + base;
 }
 
 void Session::charge_notification(int count, OpStats& stats) {
@@ -173,6 +247,111 @@ void Session::arm_refinement(net::HostId h) {
 }
 
 void Session::disarm_refinement(net::HostId h) { refine_timers_.erase(h); }
+
+void Session::ensure_heartbeat(net::HostId h) {
+  if (params_.faults.heartbeat_period <= 0.0) return;
+  HeartbeatState& hb = heartbeats_[h];
+  hb.misses = 0;
+  hb.orphaned = false;
+  hb.orphaned_at = 0.0;
+  hb.first_miss_at = 0.0;
+  if (hb.pending_detect != sim::kInvalidEvent) {
+    sim_.cancel(hb.pending_detect);
+    hb.pending_detect = sim::kInvalidEvent;
+  }
+  // Recreate the timer only when it is missing or was stopped by a full
+  // miss streak; destroying a stopped Periodic is safe from any event
+  // (never from inside its own tick — the streak stops it first and the
+  // recreation happens in complete_detection, a plain event).
+  if (!hb.timer || !hb.timer->running()) {
+    hb.timer = std::make_unique<sim::Periodic>(
+        sim_, params_.faults.heartbeat_period, [this, h] { heartbeat_tick(h); });
+  }
+}
+
+void Session::disarm_heartbeat(net::HostId h) {
+  const auto it = heartbeats_.find(h);
+  if (it == heartbeats_.end()) return;
+  if (it->second.pending_detect != sim::kInvalidEvent) {
+    sim_.cancel(it->second.pending_detect);
+  }
+  heartbeats_.erase(it);
+}
+
+void Session::forget_crash_orphan(net::HostId h) {
+  const auto it = std::find(crash_orphans_.begin(), crash_orphans_.end(), h);
+  if (it != crash_orphans_.end()) crash_orphans_.erase(it);
+}
+
+void Session::heartbeat_tick(net::HostId h) {
+  HeartbeatState& hb = heartbeats_.at(h);
+  const MemberState& m = tree_.member(h);
+  VDM_REQUIRE_MSG(m.alive, "heartbeat ticking on a dead member");
+  const FaultParams& f = params_.faults;
+
+  bool missed;
+  if (m.parent == kInvalidHost) {
+    // The parent crashed (or the member is detached): the probe goes out
+    // and nothing answers.
+    ++window_.control_messages;
+    ++totals_.control_messages;
+    missed = true;
+  } else {
+    // Probe + ack; losing either leg is a miss. p == 0 draws nothing, so
+    // heartbeats over a lossless control plane cost messages but never
+    // perturb the rng stream.
+    window_.control_messages += 2;
+    totals_.control_messages += 2;
+    double p = 0.0;
+    if (f.lossy_control) {
+      p = 1.0 -
+          (1.0 - underlay_.loss(h, m.parent)) * (1.0 - f.control_loss_extra);
+    }
+    missed = rng_.chance(p) || rng_.chance(p);
+  }
+
+  if (!missed) {
+    hb.misses = 0;
+    return;
+  }
+  ++hb.misses;
+  if (hb.misses == 1) hb.first_miss_at = sim_.now();
+  if (hb.misses >= f.heartbeat_misses &&
+      hb.pending_detect == sim::kInvalidEvent) {
+    // Verdict reached: stop probing and declare the parent dead once the
+    // final probe's own timeout expires. The timer must not be destroyed
+    // from inside its own tick — stop() it and let complete_detection (a
+    // plain scheduled event) recreate it after the rejoin.
+    hb.timer->stop();
+    hb.pending_detect = sim_.schedule_in(f.heartbeat_timeout,
+                                         [this, h] { complete_detection(h); });
+  }
+}
+
+void Session::complete_detection(net::HostId h) {
+  HeartbeatState& hb = heartbeats_.at(h);
+  hb.pending_detect = sim::kInvalidEvent;
+  const MemberState& m = tree_.member(h);
+  VDM_REQUIRE_MSG(m.alive, "detection completing on a dead member");
+
+  sim::Time detection;
+  if (hb.orphaned) {
+    // True positive: latency from the parent's actual crash to this verdict.
+    detection = sim_.now() - hb.orphaned_at;
+    forget_crash_orphan(h);
+  } else {
+    // False positive: the miss streak was pure control loss and the parent
+    // is still alive. The node acts on its verdict anyway — detach and
+    // rejoin in the same sim event, so the only data-plane gap is the
+    // rejoin handshake itself.
+    detection = sim_.now() - hb.first_miss_at;
+    if (m.parent != kInvalidHost) tree_.detach(h);
+  }
+  // NOTE: run_join re-enters ensure_heartbeat, which may rehash
+  // heartbeats_ — `hb` is dead past this point.
+  run_join(h, reconnect_start(h), /*is_reconnect=*/true, detection);
+  if (params_.paranoid_checks) tree_.validate();
+}
 
 void Session::reset_window() { window_ = Counters{}; }
 
@@ -237,6 +416,24 @@ void Session::emit_chunk() {
         }
       }
       if (!cm.children.empty()) chunk_stack_.push_back({c, delivered});
+    }
+  }
+
+  // Subtrees detached by a still-undetected crash are invisible to the
+  // flood above (nothing links into them), yet their members still expect
+  // chunks — that gap IS the churn loss a crash causes. Walk them
+  // explicitly; draws nothing and costs nothing when no crash is pending.
+  for (const net::HostId root : crash_orphans_) {
+    chunk_stack_.push_back({root, false});
+    while (!chunk_stack_.empty()) {
+      const ChunkFrame f = chunk_stack_.back();
+      chunk_stack_.pop_back();
+      MemberState& om = tree_.mutable_member_unchecked(f.host);
+      if (now >= om.in_session_since) {
+        ++om.chunks_expected;
+        ++expected;
+      }
+      for (const net::HostId c : om.children) chunk_stack_.push_back({c, false});
     }
   }
 

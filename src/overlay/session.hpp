@@ -14,6 +14,37 @@
 
 namespace vdm::overlay {
 
+/// Failure-model knobs (crash detection and lossy control plane). All draws
+/// they introduce flow through the session Rng, and every knob at its
+/// default reproduces the fault-free run bit for bit: heartbeat_period == 0
+/// schedules no probe timers, and lossy_control == false makes
+/// charge_exchange / measure skip the loss draw entirely.
+struct FaultParams {
+  /// Children probe their parent every `heartbeat_period` seconds; 0
+  /// disables detection, making crashes observable instantly (idealized).
+  double heartbeat_period = 0.0;
+  /// Consecutive missed probes before the parent is declared dead.
+  int heartbeat_misses = 3;
+  /// Extra wait after the last missed probe (its own timeout) before the
+  /// orphan declares the parent dead and starts rejoining.
+  double heartbeat_timeout = 0.5;
+  /// Draw per-message loss on every control exchange; a lost request or
+  /// reply costs a timeout plus a retransmission (charged to OpStats).
+  bool lossy_control = false;
+  /// Control-plane loss applied on top of the underlay path loss (models
+  /// overloaded end hosts dropping datagrams, as on PlanetLab).
+  double control_loss_extra = 0.0;
+  /// Initial retransmission timeout; each retry multiplies it by
+  /// backoff_factor up to retry_timeout_max, for at most max_retries
+  /// retransmissions (after which the exchange is assumed through — the
+  /// control channel is reliable-with-retries, loss shows up as latency
+  /// and message overhead, not as protocol failure).
+  double retry_timeout = 0.25;
+  double backoff_factor = 2.0;
+  double retry_timeout_max = 4.0;
+  int max_retries = 8;
+};
+
 /// Tunables of one multicast session.
 struct SessionParams {
   net::HostId source = 0;
@@ -30,13 +61,20 @@ struct SessionParams {
   double buffer_seconds = 0.0;
   /// Validate all tree invariants after every mutation batch (tests).
   bool paranoid_checks = false;
+  /// Crash-failure and control-loss model; defaults are all-off.
+  FaultParams faults;
 };
 
 /// Record of one completed join or reconnection.
 struct TimingRecord {
   sim::Time at = 0.0;       // when the operation started
   net::HostId host = net::kInvalidHost;
-  sim::Time duration = 0.0; // startup / reconnection time
+  sim::Time duration = 0.0; // startup / rejoin-handshake time
+  /// Crash-detection latency preceding this reconnection: time from the
+  /// parent's failure until the orphan declared it dead and began the
+  /// rejoin. 0 for graceful leaves and plain joins; detection + duration
+  /// is the full outage the viewer experienced.
+  sim::Time detection = 0.0;
   int messages = 0;
   int iterations = 0;
 };
@@ -71,6 +109,13 @@ class Session {
   /// Graceful leave: notifies children and parent, detaches `h`, and
   /// reconnects every orphan (grandparent first, source as fallback).
   void leave(net::HostId h);
+
+  /// Ungraceful crash: `h` vanishes without any leave notice. With
+  /// heartbeats enabled its children only notice after `heartbeat_misses`
+  /// silent probes (detection latency lands in TimingRecord::detection);
+  /// with heartbeat_period == 0 they reconnect immediately (idealized
+  /// instant detection, the pre-fault behaviour).
+  void crash(net::HostId h);
 
   /// One immediate refinement round for host `h` (also runs on timers).
   OpStats refine(net::HostId h);
@@ -121,6 +166,7 @@ class Session {
     std::uint64_t chunks_delivered = 0;
     std::uint64_t joins_completed = 0;
     std::uint64_t reconnects_completed = 0;
+    std::uint64_t crashes = 0;
     std::uint64_t refines_run = 0;
     std::uint64_t refine_switches = 0;
   };
@@ -135,9 +181,25 @@ class Session {
   std::vector<TimingRecord> take_reconnect_records();
 
  private:
-  TimingRecord run_join(net::HostId h, net::HostId start, bool is_reconnect);
+  TimingRecord run_join(net::HostId h, net::HostId start, bool is_reconnect,
+                        sim::Time detection = 0.0);
+  /// Where an orphan starts its rejoin: grandparent if alive and eligible,
+  /// else the source (§3.3; also covers "the grandparent crashed too").
+  net::HostId reconnect_start(net::HostId orphan) const;
   void arm_refinement(net::HostId h);
   void disarm_refinement(net::HostId h);
+  void ensure_heartbeat(net::HostId h);
+  void disarm_heartbeat(net::HostId h);
+  void heartbeat_tick(net::HostId h);
+  void complete_detection(net::HostId h);
+  void forget_crash_orphan(net::HostId h);
+  /// Wall-clock of a control exchange of `messages` messages with base
+  /// latency `base` under the lossy-control model: draws request/reply loss
+  /// and pays timeout + exponential-backoff retransmissions, charging every
+  /// retry's messages to `stats`. Returns `base` unchanged (and draws
+  /// nothing) when the effective loss is zero or lossy_control is off.
+  sim::Time lossy_elapsed(net::HostId from, net::HostId with, int messages,
+                          sim::Time base, OpStats& stats);
   void emit_chunk();
 
   /// One node of the per-chunk flood traversal.
@@ -156,6 +218,30 @@ class Session {
 
   std::unique_ptr<sim::Periodic> stream_timer_;
   std::unordered_map<net::HostId, std::unique_ptr<sim::Periodic>> refine_timers_;
+
+  /// Per-member failure-detector state (only populated when
+  /// faults.heartbeat_period > 0).
+  struct HeartbeatState {
+    std::unique_ptr<sim::Periodic> timer;
+    int misses = 0;
+    /// Parent crashed; probes are going unanswered until detection fires.
+    bool orphaned = false;
+    sim::Time orphaned_at = 0.0;
+    /// Start of the current miss streak (detection latency for a false
+    /// positive is measured from here).
+    sim::Time first_miss_at = 0.0;
+    /// The scheduled complete_detection() event, if the streak reached
+    /// heartbeat_misses; cancelled when the member leaves/crashes first.
+    sim::EventId pending_detect = sim::kInvalidEvent;
+  };
+  std::unordered_map<net::HostId, HeartbeatState> heartbeats_;
+  /// Roots of subtrees detached by a crash and still awaiting detection.
+  /// The data-plane flood cannot reach them via children lists, so
+  /// emit_chunk walks these explicitly to count the chunks their members
+  /// miss during the outage. Order-preserving (vector + std::find) so the
+  /// walk order — and thus nothing, since the walk draws no randomness —
+  /// stays deterministic.
+  std::vector<net::HostId> crash_orphans_;
 
   /// Reusable traversal scratch: emit_chunk runs chunk_rate times per
   /// simulated second, so a fresh vector per chunk would dominate the data

@@ -37,6 +37,7 @@ MainController::MainController(sim::Simulator& simulator,
   sp.source = params.source;
   sp.source_degree_limit = params.source_degree;
   sp.chunk_rate = params.chunk_rate;
+  sp.faults = params.faults;
   session_ = std::make_unique<overlay::Session>(simulator, underlay, protocol,
                                                 metric, sp, rng);
   collector_ = std::make_unique<metrics::Collector>(*session_);
@@ -53,6 +54,9 @@ SessionReport MainController::run(const Scenario& scenario) {
         break;
       case ScenarioEvent::Action::kLeave:
         sim_.schedule_at(e.at, [this, e] { session_->leave(e.node); });
+        break;
+      case ScenarioEvent::Action::kCrash:
+        sim_.schedule_at(e.at, [this, e] { session_->crash(e.node); });
         break;
       case ScenarioEvent::Action::kTerminate:
         break;  // implicit: run_until(end_time)
@@ -73,6 +77,8 @@ SessionReport MainController::run(const Scenario& scenario) {
       metrics::measure_tree(session_->tree(), session_->source(), underlay_);
   report.startup_times = collector_->all_startup_times();
   report.reconnect_times = collector_->all_reconnect_times();
+  report.detection_times = collector_->all_detection_times();
+  report.outage_times = collector_->all_outage_times();
   report.totals = session_->totals();
   if (report.totals.chunks_expected > 0) {
     report.loss_rate = 1.0 - static_cast<double>(report.totals.chunks_delivered) /

@@ -44,6 +44,10 @@ struct ControllerParams {
   double chunk_rate = 10.0;
   /// Tree snapshot cadence during the run.
   sim::Time measure_interval = 400.0;
+  /// Failure-model knobs (heartbeat detection, lossy control plane) routed
+  /// into the underlying Session — the testbed's flaky-node story and the
+  /// simulator's share one path. Defaults are all-off.
+  overlay::FaultParams faults;
 };
 
 /// End-of-session report — the aggregate the paper's "result calculator"
@@ -53,6 +57,8 @@ struct SessionReport {
   metrics::TreeMetrics final_tree;
   std::vector<double> startup_times;
   std::vector<double> reconnect_times;
+  std::vector<double> detection_times;
+  std::vector<double> outage_times;
   double loss_rate = 0.0;        // whole-run
   double overhead = 0.0;         // control msgs / data transmissions
   double overhead_per_chunk = 0.0;

@@ -71,8 +71,14 @@ Scenario generate_scenario(const ScenarioSpec& spec, util::Rng& rng) {
       in_overlay[vi] = in_overlay.back();
       in_overlay.pop_back();
       slot_victims.push_back(victim);
+      // crash_fraction == 0 short-circuits before chance(): the generated
+      // stream (and rng state) matches the all-graceful spec exactly.
+      const bool crash =
+          spec.crash_fraction > 0.0 && rng.chance(spec.crash_fraction);
       sc.events.push_back({slot + rng.uniform(0.0, spec.churn_interval * 0.75), victim,
-                           ScenarioEvent::Action::kLeave, 0});
+                           crash ? ScenarioEvent::Action::kCrash
+                                 : ScenarioEvent::Action::kLeave,
+                           0});
 
       const net::HostId joiner = available.back();
       available.pop_back();
@@ -99,6 +105,9 @@ void write_scenario(const Scenario& scenario, std::ostream& os) {
         break;
       case ScenarioEvent::Action::kLeave:
         os << e.at << " leave " << e.node << '\n';
+        break;
+      case ScenarioEvent::Action::kCrash:
+        os << e.at << " crash " << e.node << '\n';
         break;
       case ScenarioEvent::Action::kTerminate:
         os << e.at << " terminate\n";
@@ -135,6 +144,12 @@ Scenario parse_scenario(std::istream& is) {
                       "scenario line " + std::to_string(line_no) + ": leave needs a node");
       e.node = static_cast<net::HostId>(node);
       e.action = ScenarioEvent::Action::kLeave;
+    } else if (action == "crash") {
+      std::uint64_t node = 0;
+      VDM_REQUIRE_MSG(static_cast<bool>(ls >> node),
+                      "scenario line " + std::to_string(line_no) + ": crash needs a node");
+      e.node = static_cast<net::HostId>(node);
+      e.action = ScenarioEvent::Action::kCrash;
     } else if (action == "terminate") {
       e.action = ScenarioEvent::Action::kTerminate;
     } else {

@@ -13,7 +13,7 @@ namespace vdm::testbed {
 /// One line of a testbed scenario — the dissertation's scenario files tell
 /// "time, node and action for each event" (§5.2.2).
 struct ScenarioEvent {
-  enum class Action { kJoin, kLeave, kTerminate };
+  enum class Action { kJoin, kLeave, kCrash, kTerminate };
   sim::Time at = 0.0;
   net::HostId node = net::kInvalidHost;
   Action action = Action::kJoin;
@@ -39,6 +39,10 @@ struct ScenarioSpec {
   sim::Time total_time = 5000.0;
   sim::Time churn_interval = 400.0;
   double churn_rate = 0.05;        // fraction of members replaced / interval
+  /// Probability a departure is an ungraceful crash (kCrash) instead of a
+  /// graceful leave — the paper's unstable PlanetLab nodes. 0 keeps the
+  /// generated event stream identical to the all-graceful one.
+  double crash_fraction = 0.0;
   int degree_min = 4, degree_max = 4;
 };
 
@@ -46,8 +50,8 @@ struct ScenarioSpec {
 /// paper's scenario generator fed with different seeds).
 Scenario generate_scenario(const ScenarioSpec& spec, util::Rng& rng);
 
-/// Text round-trip: "<time> <join|leave|terminate> <node> [degree]" lines,
-/// '#' comments allowed.
+/// Text round-trip: "<time> <join|leave|crash|terminate> <node> [degree]"
+/// lines, '#' comments allowed.
 void write_scenario(const Scenario& scenario, std::ostream& os);
 Scenario parse_scenario(std::istream& is);
 Scenario parse_scenario(const std::string& text);

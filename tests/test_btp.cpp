@@ -76,7 +76,7 @@ TEST(BtpRefine, SkipsSaturatedSiblings) {
   BtpProtocol btp;
   Harness h(line_underlay({0.0, 30.0, 28.0, 27.0}), btp);
   h.join(1);       // at 30
-  h.join(2, 1);    // at 28, capacity 1
+  h.join(2, 2);    // at 28, capacity 2 = parent link + one child slot
   h.join(3);       // at 27 -> fills sibling 2? No: 3 also lands under root.
   // Fill node 2 by switching 3 under it first.
   ASSERT_TRUE(h.session.refine(3).parent_changed);

@@ -125,13 +125,17 @@ TEST(RandomProtocol, AttachesSomewhereValid) {
 }
 
 TEST(RandomProtocol, RespectsDegreeLimits) {
+  // Limit 2 = parent link + one child, so the only legal shape off a
+  // degree-1 source is a chain; the random walk must keep descending past
+  // each saturated node to the tail.
   RandomProtocol random;
   Harness h(testutil::line_underlay({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}),
             random, /*source_degree=*/1);
-  for (net::HostId n = 1; n <= 6; ++n) h.join(n, 1);
+  for (net::HostId n = 1; n <= 6; ++n) h.join(n, 2);
   for (net::HostId n = 0; n <= 6; ++n) {
     EXPECT_LE(h.session.tree().member(n).children.size(), 1u);
   }
+  EXPECT_NO_THROW(h.session.tree().validate());
 }
 
 }  // namespace

@@ -132,9 +132,12 @@ TEST(Integration, LossGrowsWithChurn) {
 }
 
 TEST(Integration, StretchShrinksWithDegree) {
-  // Figures 3.34 / 5.23: constrained degree forces deep trees.
+  // Figures 3.34 / 5.23: constrained degree forces deep trees. Average
+  // degree 2 is the feasibility floor now that limits count the parent
+  // link (a tree on N members has 2(N-1) link endpoints, ~2 per member);
+  // all-limit-2 members force chains, the deepest legal shape.
   RunConfig narrow = base_config();
-  narrow.scenario.degrees = overlay::DegreeSpec::average(1.5);
+  narrow.scenario.degrees = overlay::DegreeSpec::average(2.0);
   RunConfig wide = base_config();
   wide.scenario.degrees = overlay::DegreeSpec::uniform(5, 8);
   const AggregateResult a = run_many(narrow, kSeeds);

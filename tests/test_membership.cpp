@@ -59,6 +59,94 @@ TEST(Membership, AttachEnforcesDegreeLimit) {
   EXPECT_NO_THROW(m.attach(3, 0, 1.0, /*allow_full=*/true));
 }
 
+TEST(Membership, OverlayLinksCountTheParentLink) {
+  // The degree budget covers every overlay connection: children plus the
+  // uplink. A limit-2 member with a parent has one child slot, not two;
+  // the root has no uplink so its full budget goes to children.
+  Membership m(3);
+  m.activate(0, 2);
+  m.activate(1, 2);
+  m.activate(2, 2);
+  EXPECT_EQ(m.member(0).overlay_links(), 0);
+  EXPECT_TRUE(m.member(0).has_free_degree());
+  m.attach(1, 0, 1.0);
+  EXPECT_EQ(m.member(1).overlay_links(), 1);  // the uplink
+  EXPECT_TRUE(m.member(1).has_free_degree());
+  m.attach(2, 1, 1.0);
+  EXPECT_EQ(m.member(1).overlay_links(), 2);
+  EXPECT_FALSE(m.member(1).has_free_degree());  // parent + child = limit
+  EXPECT_EQ(m.member(0).overlay_links(), 1);    // root: children only
+  EXPECT_TRUE(m.member(0).has_free_degree());
+  m.validate();
+}
+
+TEST(Membership, LimitOneMemberIsAPureLeaf) {
+  Membership m(3);
+  m.activate(0, 2);
+  m.activate(1, 1);
+  m.activate(2, 1);
+  EXPECT_TRUE(m.member(1).has_free_degree());  // detached: uplink still free
+  m.attach(1, 0, 1.0);
+  EXPECT_FALSE(m.member(1).has_free_degree());  // saturated by its uplink
+  EXPECT_THROW(m.attach(2, 1, 1.0), util::InvariantError);
+}
+
+TEST(Membership, ValidateRejectsDegreeOverflow) {
+  // allow_full exists for Case II takeovers that immediately rebalance;
+  // leaving the tree over budget must be caught.
+  Membership m(3);
+  m.activate(0, 2);
+  m.activate(1, 1);
+  m.activate(2, 1);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0, /*allow_full=*/true);  // 1 now has uplink + child > 1
+  EXPECT_THROW(m.validate(), util::InvariantError);
+}
+
+TEST(Membership, UpdateChildDistanceOverwritesStoredEdge) {
+  Membership m(2);
+  m.activate(0, 2);
+  m.activate(1, 2);
+  m.attach(1, 0, 5.0);
+  m.update_child_distance(0, 1, 7.5);
+  EXPECT_DOUBLE_EQ(m.stored_child_distance(0, 1), 7.5);
+  EXPECT_THROW(m.update_child_distance(1, 0, 1.0), util::InvariantError);
+  EXPECT_THROW(m.update_child_distance(0, 1, -1.0), util::InvariantError);
+}
+
+TEST(Membership, SubtreeHasCapacityFastPathWithoutLimitOneMembers) {
+  // No limit-1 member alive: every subtree bottoms out in a leaf whose
+  // uplink leaves a slot free, so the answer is constant true (and O(1)).
+  Membership m(4);
+  for (HostId h = 0; h < 4; ++h) m.activate(h, 2);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  m.attach(3, 2, 1.0);
+  EXPECT_TRUE(m.subtree_has_capacity(0));
+  EXPECT_TRUE(m.subtree_has_capacity(3));
+}
+
+TEST(Membership, SubtreeHasCapacitySeesThroughSaturatedLevels) {
+  // Root limit 1 (saturated by its only child) whose grandchild still has
+  // room: capacity search must descend past full interior nodes, and a
+  // subtree of pure leaves must report no capacity.
+  Membership m(4);
+  m.activate(0, 1);
+  m.activate(1, 2);
+  m.activate(2, 2);
+  m.activate(3, 1);
+  m.attach(1, 0, 1.0);
+  m.attach(2, 1, 1.0);
+  EXPECT_TRUE(m.subtree_has_capacity(0));   // 2 still has a slot
+  EXPECT_TRUE(m.subtree_has_capacity(2));
+  m.attach(3, 2, 1.0);
+  EXPECT_FALSE(m.subtree_has_capacity(0));  // every slot spoken for
+  // Excluding the only member with room hides that capacity.
+  m.detach(3);
+  EXPECT_TRUE(m.subtree_has_capacity(0));
+  EXPECT_FALSE(m.subtree_has_capacity(0, /*exclude=*/2));
+}
+
 TEST(Membership, AttachRejectsCycles) {
   Membership m(3);
   for (HostId h = 0; h < 3; ++h) m.activate(h, 3);

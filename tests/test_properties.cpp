@@ -100,7 +100,12 @@ TEST_P(ProtocolProperties, RandomChurnPreservesAllInvariants) {
   sim::Simulator simulator;
   overlay::SessionParams sp;
   sp.source = 0;
-  sp.source_degree_limit = 4;
+  // Degree limits count the parent link, so a limit-1 member is a pure
+  // leaf and an adversarial draw (many limit-1 members) can exhaust total
+  // overlay capacity, making further joins impossible. An unsaturable
+  // source keeps every join admissible while the saturated-leaf descent
+  // guards still get exercised by the limit-1 members below.
+  sp.source_degree_limit = static_cast<int>(kHosts);
   sp.paranoid_checks = true;  // validate after every mutating operation
   sp.chunk_rate = 2.0;
   const overlay::DelayMetric metric(0.0);
@@ -161,6 +166,81 @@ TEST_P(ProtocolProperties, RandomChurnPreservesAllInvariants) {
   // Counters are consistent.
   const auto& totals = session.totals();
   EXPECT_GE(totals.chunks_delivered, 0u);
+  EXPECT_GE(totals.chunks_expected, totals.chunks_delivered);
+  EXPECT_GT(totals.control_messages, 0u);
+}
+
+TEST_P(ProtocolProperties, CrashChurnRecoversAllInvariants) {
+  // Ungraceful crashes with heartbeat detection and a lossy control plane:
+  // orphans stay detached for a few probe periods before rejoining, false
+  // positives force spurious detach/rejoin cycles, and every exchange may
+  // pay retransmissions. After the churn quiesces (every pending detection
+  // is long past), the structural invariants must hold and every alive
+  // member must be reachable from the source again.
+  const Params p = GetParam();
+  util::Rng rng(p.seed + 1000);  // decorrelate from the graceful-churn test
+  constexpr std::size_t kHosts = 24;
+  const auto underlay = make_net(p.net, rng, kHosts);
+  const auto protocol = make_protocol(p.proto);
+
+  sim::Simulator simulator;
+  overlay::SessionParams sp;
+  sp.source = 0;
+  sp.source_degree_limit = static_cast<int>(kHosts);  // see above
+  sp.paranoid_checks = true;
+  sp.chunk_rate = 2.0;
+  sp.faults.heartbeat_period = 1.0;
+  sp.faults.heartbeat_misses = 2;
+  sp.faults.heartbeat_timeout = 0.5;
+  sp.faults.lossy_control = true;
+  sp.faults.control_loss_extra = 0.02;
+  const overlay::DelayMetric metric(0.0);
+  overlay::Session session(simulator, *underlay, *protocol, metric, sp,
+                           rng.split(1));
+  session.start();
+
+  overlay::DegreeSpec degrees = overlay::DegreeSpec::uniform(1, 4);
+  std::vector<net::HostId> in;
+  std::vector<net::HostId> out;
+  for (net::HostId h = 1; h < kHosts; ++h) out.push_back(h);
+
+  sim::Time t = 0.1;
+  for (int step = 0; step < 150; ++step) {
+    const bool do_join = in.empty() || (out.empty() ? false : rng.chance(0.55));
+    if (do_join) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+      const net::HostId h = out[i];
+      out[i] = out.back();
+      out.pop_back();
+      in.push_back(h);
+      const int limit = degrees.sample(rng);
+      simulator.schedule_at(t, [&session, h, limit] { session.join(h, limit); });
+    } else {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(in.size()) - 1));
+      const net::HostId h = in[i];
+      in[i] = in.back();
+      in.pop_back();
+      out.push_back(h);
+      if (rng.chance(0.5)) {
+        simulator.schedule_at(t, [&session, h] { session.crash(h); });
+      } else {
+        simulator.schedule_at(t, [&session, h] { session.leave(h); });
+      }
+    }
+    t += rng.uniform(0.5, 5.0);
+  }
+  // Generous quiescence margin: the last possible detection verdict lands
+  // heartbeat_misses * period + timeout after the final crash.
+  simulator.run_until(t + 60.0);
+
+  session.tree().validate();
+  for (const net::HostId h : session.tree().alive_members()) {
+    EXPECT_TRUE(session.tree().is_ancestor(session.source(), h))
+        << "member " << h << " still detached after recovery quiesced";
+  }
+  const auto& totals = session.totals();
   EXPECT_GE(totals.chunks_expected, totals.chunks_delivered);
   EXPECT_GT(totals.control_messages, 0u);
 }

@@ -128,6 +128,51 @@ TEST(ScenarioFile, WriteParseRoundTrip) {
   }
 }
 
+TEST(ScenarioFile, CrashFractionTurnsDeparturesIntoCrashes) {
+  ScenarioSpec spec = small_spec();
+  spec.crash_fraction = 1.0;
+  util::Rng rng(21);
+  const Scenario sc = generate_scenario(spec, rng);
+  std::size_t crashes = 0, leaves = 0;
+  for (const ScenarioEvent& e : sc.events) {
+    if (e.action == ScenarioEvent::Action::kCrash) ++crashes;
+    if (e.action == ScenarioEvent::Action::kLeave) ++leaves;
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_EQ(leaves, 0u);  // every departure is ungraceful
+
+  // crash_fraction == 0 draws nothing: the stream matches the all-graceful
+  // generation from the same seed event for event.
+  util::Rng rng_a(22), rng_b(22);
+  const Scenario graceful = generate_scenario(small_spec(), rng_a);
+  ScenarioSpec zero = small_spec();
+  zero.crash_fraction = 0.0;
+  const Scenario zero_sc = generate_scenario(zero, rng_b);
+  ASSERT_EQ(zero_sc.events.size(), graceful.events.size());
+  for (std::size_t i = 0; i < graceful.events.size(); ++i) {
+    EXPECT_EQ(zero_sc.events[i].action, graceful.events[i].action);
+    EXPECT_EQ(zero_sc.events[i].node, graceful.events[i].node);
+    EXPECT_DOUBLE_EQ(zero_sc.events[i].at, graceful.events[i].at);
+  }
+}
+
+TEST(ScenarioFile, CrashVerbRoundTrips) {
+  ScenarioSpec spec = small_spec();
+  spec.crash_fraction = 0.5;
+  util::Rng rng(23);
+  const Scenario sc = generate_scenario(spec, rng);
+  std::ostringstream os;
+  write_scenario(sc, os);
+  EXPECT_NE(os.str().find(" crash "), std::string::npos);
+  const Scenario back = parse_scenario(os.str());
+  ASSERT_EQ(back.events.size(), sc.events.size());
+  for (std::size_t i = 0; i < sc.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].action, sc.events[i].action);
+    EXPECT_EQ(back.events[i].node, sc.events[i].node);
+  }
+  EXPECT_THROW(parse_scenario("1.0 crash\n"), util::InvariantError);
+}
+
 TEST(ScenarioFile, ParserHandlesCommentsAndBlanks) {
   const Scenario sc = parse_scenario(
       "# a comment\n"
@@ -200,6 +245,52 @@ TEST(Controller, RunsScenarioAndReports) {
   EXPECT_GE(report.epochs.size(), 4u);
   EXPECT_GE(report.loss_rate, 0.0);
   EXPECT_LT(report.loss_rate, 0.5);
+}
+
+TEST(Controller, CrashScenarioWithHeartbeatsReportsDetection) {
+  // The testbed route of the failure model: a generated scenario whose
+  // departures all crash, driven through MainController with heartbeat
+  // detection on — the report must split detection from the rejoin.
+  util::Rng rng(24);
+  PoolParams pp;
+  pp.num_nodes = 40;
+  pp.frac_unresponsive = pp.frac_no_ping_out = pp.frac_agent_broken = 0.0;
+  const NodePool pool = make_pool(pp, topo::us_regions(), rng);
+
+  ScenarioSpec spec;
+  for (const net::HostId h : pool.usable_nodes()) {
+    if (h != 0) spec.nodes.push_back(h);
+  }
+  spec.members = 15;
+  spec.join_phase = 60.0;
+  spec.total_time = 300.0;
+  spec.churn_interval = 60.0;
+  spec.churn_rate = 0.1;
+  spec.crash_fraction = 1.0;
+  util::Rng scenario_rng(25);
+  const Scenario sc = generate_scenario(spec, scenario_rng);
+
+  sim::Simulator simulator;
+  core::VdmProtocol vdm;
+  overlay::DelayMetric metric;
+  ControllerParams cp;
+  cp.measure_interval = 60.0;
+  cp.faults.heartbeat_period = 1.0;
+  cp.faults.heartbeat_misses = 3;
+  cp.faults.heartbeat_timeout = 0.5;
+  MainController controller(simulator, pool.topology.underlay, vdm, metric, cp,
+                            util::Rng(26));
+  const SessionReport report = controller.run(sc);
+
+  EXPECT_GT(report.totals.crashes, 0u);
+  ASSERT_FALSE(report.detection_times.empty());
+  ASSERT_EQ(report.outage_times.size(), report.detection_times.size());
+  for (std::size_t i = 0; i < report.detection_times.size(); ++i) {
+    // The verdict needs a full silent streak: the first probe lands within
+    // one period of the crash, then (misses - 1) more periods + timeout.
+    EXPECT_GE(report.detection_times[i], 2.5);
+    EXPECT_GT(report.outage_times[i], report.detection_times[i]);
+  }
 }
 
 TEST(Controller, WorksWithHmtpToo) {

@@ -91,8 +91,9 @@ TEST(VdmJoin, ScenarioIAdoptsMultipleCaseIIChildren) {
 }
 
 TEST(VdmJoin, ScenarioIAdoptionRespectsJoinerDegree) {
-  // Two Case II children but the newcomer has degree limit 1: it adopts
-  // only the closest; the other stays with the old parent.
+  // Two Case II children but the newcomer has degree limit 2 (one slot
+  // goes to its own parent link): it adopts only the closest; the other
+  // stays with the old parent.
   // Explicit RTTs: S-C1 = 10, S-C2 = 11, S-N = 6, N-C1 = 4, N-C2 = 5.5,
   // C1-C2 = 2 (irrelevant).
   VdmProtocol vdm;
@@ -107,7 +108,7 @@ TEST(VdmJoin, ScenarioIAdoptionRespectsJoinerDegree) {
   h.session.tree().attach(1, 0, 10.0);
   h.session.tree().activate(2, 8);
   h.session.tree().attach(2, 0, 11.0);
-  EXPECT_EQ(h.join(3, /*degree_limit=*/1), 0u);
+  EXPECT_EQ(h.join(3, /*degree_limit=*/2), 0u);
   EXPECT_EQ(h.parent(1), 3u);   // closest Case II child adopted
   EXPECT_EQ(h.parent(2), 0u);   // no capacity left for the second
 }
@@ -174,7 +175,7 @@ TEST(VdmJoin, DescendsThroughFullySaturatedLevels) {
   // and attaches at the first level with capacity.
   VdmProtocol vdm;
   Harness h(line_underlay({0.0, 10.0, 20.0, -5.0, -6.0}), vdm, /*source_degree=*/1);
-  ASSERT_EQ(h.join(1, 1), 0u);   // C1, limit 1
+  ASSERT_EQ(h.join(1, 2), 0u);   // C1: limit 2 = parent link + one child
   ASSERT_EQ(h.join(2, 8), 1u);   // C2 under C1 (Case III), fills C1
   // N at -5: Case I everywhere, S full, C1 full -> ends under C2.
   EXPECT_EQ(h.join(3, 8), 2u);

@@ -49,6 +49,23 @@ TEST(VdmRefine, RefineIsIdempotent) {
   EXPECT_EQ(h.parent(2), 1u);
 }
 
+TEST(VdmRefine, NoSwitchRefreshesStoredParentDistance) {
+  // A refinement round that keeps the current parent still measured
+  // d(N, P); that fresh sample must replace the stored edge distance, or
+  // later directionality classifications at P keep using the stale value.
+  VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0}), vdm);
+  overlay::Membership& tree = h.session.tree();
+  tree.activate(1, 8);
+  tree.attach(1, 0, 10.0);
+  tree.activate(2, 8);
+  tree.attach(2, 1, 999.0);  // stale/garbage stored distance, right parent
+  const overlay::OpStats stats = h.session.refine(2);
+  EXPECT_FALSE(stats.parent_changed);
+  EXPECT_EQ(h.parent(2), 1u);
+  EXPECT_DOUBLE_EQ(tree.stored_child_distance(1, 2), 10.0);
+}
+
 TEST(VdmRefine, SourceAndDetachedNodesAreNoOps) {
   VdmProtocol vdm;
   Harness h(line_underlay({0.0, 10.0, 20.0}), vdm);

@@ -5,6 +5,10 @@
 //
 //   ./build/bench/bench_e2e | ./build/tools/bench_to_json --label fastpath
 //
+// --require <substring> makes the conversion fail unless some parsed row
+// name contains the substring — use it to guarantee a mandatory benchmark
+// (e.g. the crash-churn run) actually made it into the trajectory.
+//
 // The trajectory file is an array of
 //   {"label", "recorded_at_utc", "results": {name: {"real_time_ms",
 //    "cpu_time_ms", "iterations", "counters": {...}}}}
@@ -210,6 +214,21 @@ int main(int argc, char** argv) {
   if (rows.empty()) {
     std::cerr << "bench_to_json: no benchmark rows found in input\n";
     return 1;
+  }
+  const std::string required = flags.get("require", "");
+  if (!required.empty()) {
+    bool found = false;
+    for (const BenchRow& r : rows) {
+      if (r.name.find(required) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "bench_to_json: required benchmark '" << required
+                << "' missing from input\n";
+      return 1;
+    }
   }
 
   // Rewrite the trajectory array: re-running under an already-used label

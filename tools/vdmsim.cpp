@@ -36,6 +36,12 @@ int usage() {
       "  --probe-noise RTT measurement noise std-dev        (default 0)\n"
       "  --hmtp-period / --no-hmtp-refine / --foster-child  HMTP controls\n"
       "  --buffer     playout buffer seconds               (default 0)\n"
+      "  --crash-frac fraction of departures that crash    (default 0)\n"
+      "  --heartbeat-period  parent probe period, s; 0 = instant detection\n"
+      "  --heartbeat-misses  probes missed before declaring death (default 3)\n"
+      "  --heartbeat-timeout wait after the last miss, s    (default 0.5)\n"
+      "  --control-loss extra loss on control exchanges (enables retries)\n"
+      "  --retry-timeout initial retransmission timeout, s  (default 0.25)\n"
       "  --seeds      independent repetitions               (default 8)\n"
       "  --seed       base seed                             (default 1)\n"
       "  --csv        emit machine-readable CSV instead of a table\n"
@@ -116,6 +122,16 @@ int main(int argc, char** argv) {
   cfg.hmtp_refinement = !flags.get_bool("no-hmtp-refine", false);
   cfg.hmtp_foster_child = flags.get_bool("foster-child", false);
   cfg.session.buffer_seconds = flags.get_double("buffer", 0.0);
+  cfg.scenario.crash_fraction = flags.get_double("crash-frac", 0.0);
+  cfg.session.faults.heartbeat_period = flags.get_double("heartbeat-period", 0.0);
+  cfg.session.faults.heartbeat_misses =
+      static_cast<int>(flags.get_int("heartbeat-misses", 3));
+  cfg.session.faults.heartbeat_timeout = flags.get_double("heartbeat-timeout", 0.5);
+  if (flags.has("control-loss")) {
+    cfg.session.faults.lossy_control = true;
+    cfg.session.faults.control_loss_extra = flags.get_double("control-loss", 0.0);
+  }
+  cfg.session.faults.retry_timeout = flags.get_double("retry-timeout", 0.25);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
   const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 8));
@@ -136,6 +152,10 @@ int main(int argc, char** argv) {
   row("network_usage_s", agg.network_usage);
   row("startup_s", agg.startup_avg);
   row("reconnect_s", agg.reconnect_avg);
+  if (cfg.scenario.crash_fraction > 0.0) {
+    row("detection_s", agg.detection_avg);
+    row("outage_s", agg.outage_avg);
+  }
   row("mst_ratio", agg.mst_ratio);
 
   if (flags.get_bool("csv", false)) {
