@@ -29,16 +29,46 @@ int main(int argc, char** argv) {
   base.session.chunk_rate = 2.0;
   base.seed = 700;
 
+  // All three ablation tables as one flat grid sweep.
+  std::vector<RunConfig> points;
+  for (const bool foster : {false, true}) {
+    RunConfig cfg = base;
+    cfg.protocol = Proto::kHmtp;
+    cfg.hmtp_foster_child = foster;
+    points.push_back(cfg);
+  }
+  const std::vector<double> buffers{0.0, 0.5, 2.0, 10.0};
+  for (const double buffer : buffers) {
+    RunConfig cfg = base;
+    cfg.scenario.churn_rate = 0.10;
+    cfg.session.buffer_seconds = buffer;
+    points.push_back(cfg);
+  }
+  struct V {
+    const char* name;
+    Metric metric;
+  };
+  const std::vector<V> metric_variants{V{"delay (VDM-D)", Metric::kDelay},
+                                       V{"loss (VDM-L)", Metric::kLoss},
+                                       V{"loss + cache", Metric::kCachedLoss}};
+  for (const V& v : metric_variants) {
+    RunConfig cfg = base;
+    cfg.metric = v.metric;
+    cfg.link_loss_max = 0.02;
+    points.push_back(cfg);
+  }
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::vector<AggregateResult> results = run_grid(points, seeds, sweep);
+  std::size_t next = 0;
+
   banner("Ablation — foster-child quick start (HMTP §2.4.7)",
          "transit-stub, 150 members, churn 5%, " + std::to_string(seeds) + " seeds\n" +
              note_expectation("startup collapses to ~one handshake; overhead unchanged"));
   {
     util::Table t({"variant", "startup avg (s)", "startup max (s)", "stretch", "overhead"});
     for (const bool foster : {false, true}) {
-      RunConfig cfg = base;
-      cfg.protocol = Proto::kHmtp;
-      cfg.hmtp_foster_child = foster;
-      const AggregateResult r = run_many(cfg, seeds);
+      const AggregateResult& r = results[next++];
       t.add_row({foster ? "HMTP + foster child" : "HMTP", ci_cell(r.startup_avg),
                  ci_cell(r.startup_max), ci_cell(r.stretch), ci_cell(r.overhead, 4)});
     }
@@ -50,11 +80,8 @@ int main(int argc, char** argv) {
              note_expectation("a couple of seconds of buffer hides reconnection outages"));
   {
     util::Table t({"buffer (s)", "loss rate", "reconnect avg (s)"});
-    for (const double buffer : {0.0, 0.5, 2.0, 10.0}) {
-      RunConfig cfg = base;
-      cfg.scenario.churn_rate = 0.10;
-      cfg.session.buffer_seconds = buffer;
-      const AggregateResult r = run_many(cfg, seeds);
+    for (const double buffer : buffers) {
+      const AggregateResult& r = results[next++];
       t.add_row({util::Table::fmt(buffer, 1), ci_cell(r.loss, 5),
                  ci_cell(r.reconnect_avg)});
     }
@@ -67,17 +94,8 @@ int main(int argc, char** argv) {
                               "the loss-optimized tree"));
   {
     util::Table t({"virtual distance", "loss rate", "stretch", "startup avg (s)", "overhead"});
-    struct V {
-      const char* name;
-      Metric metric;
-    };
-    for (const V v : {V{"delay (VDM-D)", Metric::kDelay},
-                      V{"loss (VDM-L)", Metric::kLoss},
-                      V{"loss + cache", Metric::kCachedLoss}}) {
-      RunConfig cfg = base;
-      cfg.metric = v.metric;
-      cfg.link_loss_max = 0.02;
-      const AggregateResult r = run_many(cfg, seeds);
+    for (const V& v : metric_variants) {
+      const AggregateResult& r = results[next++];
       t.add_row({v.name, ci_cell(r.loss, 4), ci_cell(r.stretch),
                  ci_cell(r.startup_avg), ci_cell(r.overhead, 4)});
     }

@@ -70,10 +70,17 @@ int main(int argc, char** argv) {
              note_expectation("quality converges towards MST as refinement spends more "
                               "messages; VDM's join-only point sits far left on the "
                               "overhead axis"));
+  std::vector<RunConfig> points;
+  points.reserve(variants.size());
+  for (const Variant& v : variants) points.push_back(v.cfg);
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::vector<AggregateResult> results = run_grid(points, seeds, sweep);
+
   util::Table t({"variant", "stress", "stretch", "usage", "MST ratio", "overhead"});
-  for (const Variant& v : variants) {
-    const AggregateResult r = run_many(v.cfg, seeds);
-    t.add_row({v.name, ci_cell(r.stress), ci_cell(r.stretch),
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const AggregateResult& r = results[i];
+    t.add_row({variants[i].name, ci_cell(r.stress), ci_cell(r.stretch),
                ci_cell(r.network_usage, 2), ci_cell(r.mst_ratio),
                ci_cell(r.overhead, 4)});
   }

@@ -7,18 +7,21 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "baselines/hmtp_protocol.hpp"
 #include "core/vdm_protocol.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/sweep.hpp"
 #include "testbed/controller.hpp"
 #include "testbed/node_pool.hpp"
 #include "testbed/scenario_file.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/task_pool.hpp"
 
 namespace vdm::bench {
 
@@ -120,12 +123,14 @@ struct TestbedAggregate {
       usage, loss, overhead, mst_ratio;
 };
 
-inline TestbedAggregate run_testbed_many(TestbedConfig cfg, std::size_t seeds) {
+/// Folds one configuration's per-seed reports (in seed order) into the
+/// aggregate. Separated from the sweep so the serial and parallel paths
+/// share one accumulation, bit for bit.
+inline TestbedAggregate aggregate_testbed(const TestbedConfig& cfg,
+                                          std::span<const testbed::SessionReport> reports) {
   std::vector<double> su, su_mx, rc, rc_mx, st, st_min, st_leaf, st_max, hp,
       hp_leaf, hp_max, us, lo, ov, mr;
-  for (std::size_t i = 0; i < seeds; ++i) {
-    cfg.seed = 1 + i;
-    const testbed::SessionReport r = run_testbed_once(cfg);
+  for (const testbed::SessionReport& r : reports) {
     const util::Summary s_start = util::summarize(r.startup_times);
     su.push_back(s_start.mean);
     su_mx.push_back(s_start.max);
@@ -177,6 +182,36 @@ inline TestbedAggregate run_testbed_many(TestbedConfig cfg, std::size_t seeds) {
   agg.overhead = util::summarize(ov);
   agg.mst_ratio = util::summarize(mr);
   return agg;
+}
+
+/// Runs every (config, seed) combination as one flat task set on the shared
+/// TaskPool and aggregates per config, in config order. Seeding matches the
+/// classic serial loop (seed = 1 + i per config) and each report lands in a
+/// slot addressed by its flattened index, so the output is bit-identical to
+/// run_testbed_many over each config for every thread count.
+inline std::vector<TestbedAggregate> run_testbed_grid(
+    const std::vector<TestbedConfig>& configs, std::size_t seeds,
+    std::size_t threads = 0) {
+  if (configs.empty() || seeds == 0) return {};
+  std::vector<testbed::SessionReport> reports(configs.size() * seeds);
+  util::TaskPool::global().for_n(
+      reports.size(), threads, [&](const util::TaskPool::Context& ctx) {
+        TestbedConfig cfg = configs[ctx.index / seeds];
+        cfg.seed = 1 + ctx.index % seeds;
+        reports[ctx.index] = run_testbed_once(cfg);
+      });
+  std::vector<TestbedAggregate> out;
+  out.reserve(configs.size());
+  const std::span<const testbed::SessionReport> all(reports);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out.push_back(aggregate_testbed(configs[c], all.subspan(c * seeds, seeds)));
+  }
+  return out;
+}
+
+inline TestbedAggregate run_testbed_many(TestbedConfig cfg, std::size_t seeds,
+                                         std::size_t threads = 0) {
+  return run_testbed_grid({cfg}, seeds, threads).front();
 }
 
 }  // namespace vdm::bench

@@ -9,16 +9,20 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "experiments/runner.hpp"
+#include "experiments/sweep.hpp"
 #include "metrics/tree_metrics.hpp"
 #include "net/graph_underlay.hpp"
 #include "overlay/membership.hpp"
 #include "sim/simulator.hpp"
 #include "topology/transit_stub.hpp"
 #include "util/rng.hpp"
+#include "util/task_pool.hpp"
 
 // ---------------------------------------------------------------- allocation
 // Global-new instrumentation so the measure_tree micro can assert "zero heap
@@ -109,6 +113,106 @@ void BM_RunOnceCrashChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RunOnceCrashChurn)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- sweeps
+
+/// run_once into a warm per-worker arena — the steady-state unit of work a
+/// sweep worker executes. arena_grow_per_iter must be exactly 0: after the
+/// warmup run the scratch owns every buffer the run shape needs, so repeat
+/// runs rebuild topology, routing state and collector storage in place.
+void BM_RunOnceArena(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kTransitStub;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 7;
+  experiments::RunScratch scratch;
+  benchmark::DoNotOptimize(experiments::run_once(cfg, scratch));  // warm
+
+  const std::uint64_t grows_before = scratch.grow_events();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    experiments::RunResult r = experiments::run_once(cfg, scratch);
+    benchmark::DoNotOptimize(r);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["arena_grow_per_iter"] =
+      static_cast<double>(scratch.grow_events() - grows_before) / iters;
+  state.counters["allocs_per_iter"] = static_cast<double>(allocs) / iters;
+}
+BENCHMARK(BM_RunOnceArena)->Arg(200)->Unit(benchmark::kMillisecond);
+
+/// A small paper-style grid (three overlay sizes x 4 seeds) through
+/// run_grid. threads:1 is the serial reference; threads:0 lets the shared
+/// pool size itself to the hardware — on a multi-core host the ratio of the
+/// two rows is the sweep speedup (this is also what the determinism tests
+/// pin: both rows produce bit-identical aggregates).
+void BM_SweepGrid(benchmark::State& state) {
+  std::vector<experiments::RunConfig> points;
+  for (const std::size_t members : {64, 128, 200}) {
+    experiments::RunConfig cfg;
+    cfg.substrate = experiments::Substrate::kTransitStub;
+    cfg.protocol = experiments::Proto::kVdm;
+    cfg.scenario.target_members = members;
+    cfg.seed = 7;
+    points.push_back(cfg);
+  }
+  constexpr std::size_t kSeeds = 4;
+  experiments::SweepOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<experiments::AggregateResult> aggs =
+        experiments::run_grid(points, kSeeds, opt);
+    benchmark::DoNotOptimize(aggs);
+  }
+  state.counters["tasks"] = static_cast<double>(points.size() * kSeeds);
+  state.counters["workers"] = static_cast<double>(
+      util::TaskPool::global().workers_for(points.size() * kSeeds, opt.threads));
+}
+BENCHMARK(BM_SweepGrid)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+/// Strong scaling of a single-point seed sweep as the worker cap doubles.
+/// speedup/efficiency are measured against the threads=1 row of the same
+/// process run. On a single-core host every row collapses to ~1x — the
+/// counters record what the hardware actually delivered, not an assumption.
+void BM_RunManyScaling(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kTransitStub;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = 64;
+  cfg.seed = 7;
+  constexpr std::size_t kSeeds = 8;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    experiments::AggregateResult agg = experiments::run_many(cfg, kSeeds, threads);
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    benchmark::DoNotOptimize(agg);
+  }
+  const double per_iter = seconds / static_cast<double>(state.iterations());
+
+  static double serial_per_iter = 0.0;  // filled by the threads=1 row, which runs first
+  if (threads == 1) serial_per_iter = per_iter;
+  if (serial_per_iter > 0.0 && per_iter > 0.0) {
+    const double speedup = serial_per_iter / per_iter;
+    state.counters["speedup"] = speedup;
+    state.counters["efficiency"] = speedup / static_cast<double>(threads);
+  }
+}
+BENCHMARK(BM_RunManyScaling)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------------------ event engine
 

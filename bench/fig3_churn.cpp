@@ -31,20 +31,29 @@ int main(int argc, char** argv) {
 
   const std::vector<double> churn_rates{0.01, 0.03, 0.05, 0.07, 0.10};
 
+  // One flat grid: (churn rate x {VDM, HMTP, HMTP-norefine}), three points
+  // per churn in the same order the serial loop ran them.
+  std::vector<RunConfig> points;
+  for (const double churn : churn_rates) {
+    RunConfig cfg = base;
+    cfg.scenario.churn_rate = churn;
+    points.push_back(cfg);
+    cfg.protocol = Proto::kHmtp;
+    points.push_back(cfg);
+    cfg.hmtp_refinement = false;
+    points.push_back(cfg);
+  }
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  std::vector<AggregateResult> results = run_grid(points, seeds, sweep);
+
   struct Row {
     AggregateResult vdm, hmtp, hmtp_nr;
   };
   std::vector<Row> rows;
-  for (const double churn : churn_rates) {
-    Row row;
-    RunConfig cfg = base;
-    cfg.scenario.churn_rate = churn;
-    row.vdm = run_many(cfg, seeds);
-    cfg.protocol = Proto::kHmtp;
-    row.hmtp = run_many(cfg, seeds);
-    cfg.hmtp_refinement = false;
-    row.hmtp_nr = run_many(cfg, seeds);
-    rows.push_back(std::move(row));
+  for (std::size_t i = 0; i < churn_rates.size(); ++i) {
+    rows.push_back(Row{std::move(results[3 * i]), std::move(results[3 * i + 1]),
+                       std::move(results[3 * i + 2])});
   }
 
   const std::string setup =

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const auto members = static_cast<std::size_t>(flags.get_int("members", 200));
 
   const std::vector<double> degrees{2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0};
-  std::vector<AggregateResult> results;
+  std::vector<RunConfig> points;
   for (const double d : degrees) {
     RunConfig cfg;
     cfg.substrate = Substrate::kTransitStub;
@@ -33,8 +33,11 @@ int main(int argc, char** argv) {
     cfg.session.source_degree_limit = std::max(2, static_cast<int>(d + 0.5));
     cfg.session.chunk_rate = 1.0;
     cfg.seed = 300;
-    results.push_back(run_many(cfg, seeds));
+    points.push_back(cfg);
   }
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::vector<AggregateResult> results = run_grid(points, seeds, sweep);
 
   const std::string setup = "transit-stub 792 routers, VDM, " + std::to_string(members) +
                             " members, churn 5%, " + std::to_string(seeds) + " seeds";

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("seeds", static_cast<std::int64_t>(default_seeds(4, 32))));
 
   const std::vector<std::size_t> sizes{100, 200, 400, 700, 1000};
-  std::vector<AggregateResult> results;
+  std::vector<RunConfig> points;
   for (const std::size_t n : sizes) {
     RunConfig cfg;
     cfg.substrate = Substrate::kTransitStub;
@@ -25,8 +25,11 @@ int main(int argc, char** argv) {
     cfg.scenario.churn_rate = 0.05;
     cfg.session.chunk_rate = 1.0;
     cfg.seed = 200;
-    results.push_back(run_many(cfg, seeds));
+    points.push_back(cfg);
   }
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::vector<AggregateResult> results = run_grid(points, seeds, sweep);
 
   const std::string setup = "transit-stub 792 routers, VDM, churn 5%, degree U[2,5], " +
                             std::to_string(seeds) + " seeds";

@@ -36,12 +36,18 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
+  // Both metric variants as one grid sweep.
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::vector<RunConfig> points{make_config(Metric::kDelay),
+                                      make_config(Metric::kLoss)};
+  const std::vector<AggregateResult> aggs = run_grid(points, seeds, sweep);
+
   // Per-epoch averages across seeds for the two metrics.
   struct Series {
     std::vector<double> at, stress, stretch, loss, overhead;
   };
-  auto run_series = [&](Metric metric) {
-    const AggregateResult agg = run_many(make_config(metric), seeds);
+  auto run_series = [&](const AggregateResult& agg) {
     Series s;
     const std::size_t epochs = agg.runs.front().epochs.size();
     for (std::size_t e = 0; e < epochs; ++e) {
@@ -63,8 +69,8 @@ int main(int argc, char** argv) {
     return s;
   };
 
-  const Series vdm_d = run_series(Metric::kDelay);
-  const Series vdm_l = run_series(Metric::kLoss);
+  const Series vdm_d = run_series(aggs[0]);
+  const Series vdm_l = run_series(aggs[1]);
 
   const std::string setup =
       "transit-stub 792 routers, link error U[0%,2%], 50 joins per interval to " +

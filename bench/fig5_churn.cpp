@@ -16,20 +16,25 @@ int main(int argc, char** argv) {
   const auto members = static_cast<std::size_t>(flags.get_int("members", 100));
 
   const std::vector<double> churn_rates{0.02, 0.04, 0.06, 0.08, 0.10};
-  struct Row {
-    TestbedAggregate vdm, hmtp;
-  };
-  std::vector<Row> rows;
+  std::vector<TestbedConfig> configs;
   for (const double churn : churn_rates) {
     TestbedConfig cfg;
     cfg.members = members;
     cfg.churn_rate = churn;
-    Row row;
     cfg.proto = TestbedConfig::Proto::kVdm;
-    row.vdm = run_testbed_many(cfg, seeds);
+    configs.push_back(cfg);
     cfg.proto = TestbedConfig::Proto::kHmtp;
-    row.hmtp = run_testbed_many(cfg, seeds);
-    rows.push_back(row);
+    configs.push_back(cfg);
+  }
+  const std::vector<TestbedAggregate> aggs = run_testbed_grid(
+      configs, seeds, static_cast<std::size_t>(flags.get_int("threads", 0)));
+
+  struct Row {
+    TestbedAggregate vdm, hmtp;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < churn_rates.size(); ++i) {
+    rows.push_back(Row{aggs[2 * i], aggs[2 * i + 1]});
   }
 
   const std::string setup = "US testbed pool (~140 usable nodes), " + std::to_string(members) +

@@ -15,15 +15,17 @@ int main(int argc, char** argv) {
   const auto members = static_cast<std::size_t>(flags.get_int("members", 100));
 
   const std::vector<int> degrees{2, 3, 4, 5, 6, 7, 8};
-  std::vector<TestbedAggregate> rows;
+  std::vector<TestbedConfig> configs;
   for (const int d : degrees) {
     TestbedConfig cfg;
     cfg.members = members;
     cfg.churn_rate = 0.05;
     cfg.degree = d;
     cfg.source_degree = d;
-    rows.push_back(run_testbed_many(cfg, seeds));
+    configs.push_back(cfg);
   }
+  const std::vector<TestbedAggregate> rows = run_testbed_grid(
+      configs, seeds, static_cast<std::size_t>(flags.get_int("threads", 0)));
 
   const std::string setup = "US testbed pool (~140 usable nodes), VDM, " + std::to_string(members) +
                             " members, churn 5%, " + std::to_string(seeds) + " runs";

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       flags.get_int("seeds", static_cast<std::int64_t>(experiments::default_seeds(5, 5))));
 
   const std::vector<std::size_t> sizes{10, 20, 30, 40, 50};
-  std::vector<TestbedAggregate> rows;
+  std::vector<TestbedConfig> configs;
   for (const std::size_t n : sizes) {
     TestbedConfig cfg;
     cfg.members = n;
@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
     cfg.degree = 64;       // "we don't apply degree limitation"
     cfg.source_degree = 64;
     cfg.total_time = cfg.join_phase + 500.0;
-    rows.push_back(run_testbed_many(cfg, seeds));
+    configs.push_back(cfg);
   }
+  const std::vector<TestbedAggregate> rows = run_testbed_grid(
+      configs, seeds, static_cast<std::size_t>(flags.get_int("threads", 0)));
 
   banner("Figure 5.31 — overlay tree cost / MST cost vs number of nodes",
          "US testbed pool, VDM, no degree limits, join-only, " +

@@ -13,13 +13,15 @@ int main(int argc, char** argv) {
       flags.get_int("seeds", static_cast<std::int64_t>(experiments::default_seeds(5, 5))));
 
   const std::vector<std::size_t> sizes{20, 40, 60, 80, 100};
-  std::vector<TestbedAggregate> rows;
+  std::vector<TestbedConfig> configs;
   for (const std::size_t n : sizes) {
     TestbedConfig cfg;
     cfg.members = n;
     cfg.churn_rate = 0.05;
-    rows.push_back(run_testbed_many(cfg, seeds));
+    configs.push_back(cfg);
   }
+  const std::vector<TestbedAggregate> rows = run_testbed_grid(
+      configs, seeds, static_cast<std::size_t>(flags.get_int("threads", 0)));
 
   const std::string setup = "US testbed pool (~140 usable nodes), VDM, churn 5%, degree 4, " +
                             std::to_string(seeds) + " runs";

@@ -13,20 +13,25 @@ int main(int argc, char** argv) {
       flags.get_int("seeds", static_cast<std::int64_t>(experiments::default_seeds(5, 5))));
 
   const std::vector<std::size_t> sizes{10, 20, 30, 40, 50};
-  struct Row {
-    TestbedAggregate vdm, vdm_r;
-  };
-  std::vector<Row> rows;
+  std::vector<TestbedConfig> configs;
   for (const std::size_t n : sizes) {
     TestbedConfig cfg;
     cfg.members = n;
     cfg.churn_rate = 0.05;
-    Row row;
     cfg.proto = TestbedConfig::Proto::kVdm;
-    row.vdm = run_testbed_many(cfg, seeds);
+    configs.push_back(cfg);
     cfg.proto = TestbedConfig::Proto::kVdmRefine;
-    row.vdm_r = run_testbed_many(cfg, seeds);
-    rows.push_back(row);
+    configs.push_back(cfg);
+  }
+  const std::vector<TestbedAggregate> aggs = run_testbed_grid(
+      configs, seeds, static_cast<std::size_t>(flags.get_int("threads", 0)));
+
+  struct Row {
+    TestbedAggregate vdm, vdm_r;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rows.push_back(Row{aggs[2 * i], aggs[2 * i + 1]});
   }
 
   const std::string setup = "US testbed pool (~140 usable nodes), churn 5%, degree 4, " +

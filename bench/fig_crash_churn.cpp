@@ -38,18 +38,25 @@ int main(int argc, char** argv) {
 
   const std::vector<double> crash_fractions{0.0, 0.25, 0.5, 0.75, 1.0};
 
+  // One flat grid: (crash fraction x {VDM, HMTP}) in the serial loop's order.
+  std::vector<RunConfig> points;
+  for (const double frac : crash_fractions) {
+    RunConfig cfg = base;
+    cfg.scenario.crash_fraction = frac;
+    points.push_back(cfg);
+    cfg.protocol = Proto::kHmtp;
+    points.push_back(cfg);
+  }
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  std::vector<AggregateResult> results = run_grid(points, seeds, sweep);
+
   struct Row {
     AggregateResult vdm, hmtp;
   };
   std::vector<Row> rows;
-  for (const double frac : crash_fractions) {
-    Row row;
-    RunConfig cfg = base;
-    cfg.scenario.crash_fraction = frac;
-    row.vdm = run_many(cfg, seeds);
-    cfg.protocol = Proto::kHmtp;
-    row.hmtp = run_many(cfg, seeds);
-    rows.push_back(std::move(row));
+  for (std::size_t i = 0; i < crash_fractions.size(); ++i) {
+    rows.push_back(Row{std::move(results[2 * i]), std::move(results[2 * i + 1])});
   }
 
   const std::string setup =

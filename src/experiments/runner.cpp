@@ -1,11 +1,10 @@
 #include "experiments/runner.hpp"
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <optional>
+#include <span>
+#include <utility>
 
 #include "baselines/btp_protocol.hpp"
 #include "baselines/hmtp_protocol.hpp"
@@ -30,57 +29,32 @@ std::size_t auto_pool(const overlay::ScenarioParams& scenario) {
          std::max<std::size_t>(8, scenario.target_members * 3 / 5);
 }
 
-std::unique_ptr<net::Underlay> build_underlay(const RunConfig& cfg,
-                                              std::size_t pool, util::Rng& rng) {
-  switch (cfg.substrate) {
-    case Substrate::kTransitStub: {
-      topo::TransitStubParams tp;
-      if (cfg.routers > 0) {
-        // Scale the stub tier to approximate the requested router count
-        // while keeping the paper's 4x6 transit core.
-        const std::size_t transit = tp.transit_domains * tp.routers_per_transit;
-        if (cfg.routers > transit) {
-          const std::size_t stub_total = cfg.routers - transit;
-          tp.routers_per_stub = std::max<std::size_t>(
-              2, stub_total / (transit * tp.stub_domains_per_transit_router));
-        }
-      }
-      tp.loss_max = cfg.link_loss_max;
-      topo::HostAttachment hp;
-      hp.num_hosts = pool;
-      hp.loss_max = 0.0;  // loss lives on router links, as in Chapter 4
-      return std::make_unique<net::GraphUnderlay>(
-          topo::make_transit_stub_underlay(tp, hp, rng));
-    }
-    case Substrate::kWaxman: {
-      topo::WaxmanParams wp;
-      if (cfg.routers > 0) wp.num_routers = cfg.routers;
-      wp.loss_max = cfg.link_loss_max;
-      topo::WaxmanTopology wt = topo::make_waxman(wp, rng);
-      std::vector<net::NodeId> all_routers;
-      all_routers.reserve(wt.graph.num_nodes());
-      for (net::NodeId v = 0; v < wt.graph.num_nodes(); ++v) all_routers.push_back(v);
-      topo::HostAttachment hp;
-      hp.num_hosts = pool;
-      return std::make_unique<net::GraphUnderlay>(
-          topo::attach_hosts(std::move(wt.graph), all_routers, hp, rng));
-    }
-    case Substrate::kGeoUs:
-    case Substrate::kGeoWorld: {
-      topo::GeoParams gp;
-      gp.num_hosts = pool;
-      gp.regions = cfg.substrate == Substrate::kGeoUs ? topo::us_regions()
-                                                      : topo::world_regions();
-      if (cfg.link_loss_max > 0.0) {
-        gp.loss_noise = cfg.link_loss_max;
-        gp.loss_max = cfg.link_loss_max;
-      }
-      topo::GeoTopology gt = topo::make_geo(gp, rng);
-      return std::make_unique<net::MatrixUnderlay>(std::move(gt.underlay));
+topo::TransitStubParams transit_stub_params(const RunConfig& cfg) {
+  topo::TransitStubParams tp;
+  if (cfg.routers > 0) {
+    // Scale the stub tier to approximate the requested router count
+    // while keeping the paper's 4x6 transit core.
+    const std::size_t transit = tp.transit_domains * tp.routers_per_transit;
+    if (cfg.routers > transit) {
+      const std::size_t stub_total = cfg.routers - transit;
+      tp.routers_per_stub = std::max<std::size_t>(
+          2, stub_total / (transit * tp.stub_domains_per_transit_router));
     }
   }
-  VDM_REQUIRE_MSG(false, "unknown substrate");
-  return nullptr;
+  tp.loss_max = cfg.link_loss_max;
+  return tp;
+}
+
+topo::GeoParams geo_params(const RunConfig& cfg, std::size_t pool) {
+  topo::GeoParams gp;
+  gp.num_hosts = pool;
+  gp.regions = cfg.substrate == Substrate::kGeoUs ? topo::us_regions()
+                                                  : topo::world_regions();
+  if (cfg.link_loss_max > 0.0) {
+    gp.loss_noise = cfg.link_loss_max;
+    gp.loss_max = cfg.link_loss_max;
+  }
+  return gp;
 }
 
 std::unique_ptr<overlay::Protocol> build_protocol(const RunConfig& cfg) {
@@ -147,7 +121,123 @@ double max_or_zero(const std::vector<double>& v) {
 
 }  // namespace
 
+struct RunScratch::Impl {
+  // Router-graph substrates: the underlay keeps the graph, router caches and
+  // host list between runs; release()/rebind() shuttles the graph buffers
+  // through the topology generators, which rebuild them in place.
+  std::optional<net::GraphUnderlay> graph_underlay;
+  topo::TransitStubTopology ts;
+  topo::WaxmanTopology wax;
+  std::vector<net::NodeId> hosts;
+  std::vector<net::NodeId> all_routers;
+
+  // Matrix substrates: the delay/loss matrices shuttle the same way.
+  std::optional<net::MatrixUnderlay> matrix_underlay;
+  std::vector<topo::GeoHost> geo_hosts;
+  std::vector<double> geo_delay;
+  std::vector<double> geo_loss;
+
+  metrics::CollectorScratch collector;
+
+  std::uint64_t grow_events = 0;
+  std::size_t high_water = 0;
+
+  std::size_t capacity_bytes() const {
+    std::size_t bytes = collector.capacity_bytes();
+    if (graph_underlay) bytes += graph_underlay->arena_capacity_bytes();
+    if (matrix_underlay) bytes += matrix_underlay->arena_capacity_bytes();
+    bytes += ts.graph.capacity_bytes() + wax.graph.capacity_bytes();
+    bytes += (ts.transit_routers.capacity() + ts.stub_routers.capacity() +
+              hosts.capacity() + all_routers.capacity()) *
+             sizeof(net::NodeId);
+    bytes += ts.stub_domain_of.capacity() * sizeof(std::uint32_t);
+    bytes += wax.coords.capacity() * sizeof(std::pair<double, double>);
+    bytes += geo_hosts.capacity() * sizeof(topo::GeoHost);
+    bytes += (geo_delay.capacity() + geo_loss.capacity()) * sizeof(double);
+    return bytes;
+  }
+};
+
+RunScratch::RunScratch() : impl_(std::make_unique<Impl>()) {}
+RunScratch::~RunScratch() = default;
+RunScratch::RunScratch(RunScratch&&) noexcept = default;
+RunScratch& RunScratch::operator=(RunScratch&&) noexcept = default;
+
+std::uint64_t RunScratch::grow_events() const { return impl_->grow_events; }
+std::size_t RunScratch::capacity_bytes() const { return impl_->capacity_bytes(); }
+
+namespace {
+
+/// Builds (or rebuilds in place) the run's substrate inside the scratch and
+/// returns a pointer into it. Same rng draws as the value-returning
+/// generator compositions, so results match the scratch-free path bit for
+/// bit.
+net::Underlay* build_underlay(const RunConfig& cfg, std::size_t pool,
+                              util::Rng& rng, RunScratch::Impl& s) {
+  switch (cfg.substrate) {
+    case Substrate::kTransitStub: {
+      const topo::TransitStubParams tp = transit_stub_params(cfg);
+      topo::HostAttachment hp;
+      hp.num_hosts = pool;
+      hp.loss_max = 0.0;  // loss lives on router links, as in Chapter 4
+      if (s.graph_underlay) s.graph_underlay->release(s.ts.graph, s.hosts);
+      topo::make_transit_stub(tp, rng, s.ts);
+      topo::attach_hosts_into(s.ts.graph, s.ts.stub_routers, hp, rng, s.hosts);
+      if (s.graph_underlay) {
+        s.graph_underlay->rebind(std::move(s.ts.graph), std::move(s.hosts));
+      } else {
+        s.graph_underlay.emplace(std::move(s.ts.graph), std::move(s.hosts));
+      }
+      return &*s.graph_underlay;
+    }
+    case Substrate::kWaxman: {
+      topo::WaxmanParams wp;
+      if (cfg.routers > 0) wp.num_routers = cfg.routers;
+      wp.loss_max = cfg.link_loss_max;
+      if (s.graph_underlay) s.graph_underlay->release(s.wax.graph, s.hosts);
+      topo::make_waxman(wp, rng, s.wax);
+      s.all_routers.clear();
+      s.all_routers.reserve(s.wax.graph.num_nodes());
+      for (net::NodeId v = 0; v < s.wax.graph.num_nodes(); ++v) {
+        s.all_routers.push_back(v);
+      }
+      topo::HostAttachment hp;
+      hp.num_hosts = pool;
+      topo::attach_hosts_into(s.wax.graph, s.all_routers, hp, rng, s.hosts);
+      if (s.graph_underlay) {
+        s.graph_underlay->rebind(std::move(s.wax.graph), std::move(s.hosts));
+      } else {
+        s.graph_underlay.emplace(std::move(s.wax.graph), std::move(s.hosts));
+      }
+      return &*s.graph_underlay;
+    }
+    case Substrate::kGeoUs:
+    case Substrate::kGeoWorld: {
+      const topo::GeoParams gp = geo_params(cfg, pool);
+      if (s.matrix_underlay) s.matrix_underlay->release(s.geo_delay, s.geo_loss);
+      topo::make_geo_into(gp, rng, s.geo_hosts, s.geo_delay, s.geo_loss);
+      if (s.matrix_underlay) {
+        s.matrix_underlay->rebind(pool, std::move(s.geo_delay),
+                                  std::move(s.geo_loss));
+      } else {
+        s.matrix_underlay.emplace(pool, std::move(s.geo_delay),
+                                  std::move(s.geo_loss));
+      }
+      return &*s.matrix_underlay;
+    }
+  }
+  VDM_REQUIRE_MSG(false, "unknown substrate");
+  return nullptr;
+}
+
+}  // namespace
+
 RunResult run_once(const RunConfig& config) {
+  RunScratch scratch;
+  return run_once(config, scratch);
+}
+
+RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   util::Rng root(config.seed);
   util::Rng topo_rng = root.split(1);
   util::Rng scenario_rng = root.split(2);
@@ -157,7 +247,7 @@ RunResult run_once(const RunConfig& config) {
       config.host_pool > 0 ? config.host_pool : auto_pool(config.scenario);
   VDM_REQUIRE(pool > config.scenario.target_members);
 
-  const std::unique_ptr<net::Underlay> underlay = build_underlay(config, pool, topo_rng);
+  net::Underlay* underlay = build_underlay(config, pool, topo_rng, *scratch.impl_);
   const std::unique_ptr<overlay::Protocol> protocol = build_protocol(config);
 
   sim::Simulator simulator;
@@ -165,7 +255,7 @@ RunResult run_once(const RunConfig& config) {
   overlay::SessionParams sp = config.session;
   sp.source = 0;
   overlay::Session session(simulator, *underlay, *protocol, *metric, sp, session_rng);
-  metrics::Collector collector(session);
+  metrics::Collector collector(session, scratch.impl_->collector);
   overlay::ScenarioDriver driver(session, config.scenario, scenario_rng);
   driver.run([&](sim::Time at) { collector.capture(at); });
 
@@ -209,78 +299,20 @@ RunResult run_once(const RunConfig& config) {
 
   r.mst_ratio = baselines::mst_ratio(session.tree(), session.source(), *underlay);
   r.final_members = session.tree().alive_members().size();
-  if (config.keep_epochs) r.epochs = collector.samples();
-  return r;
-}
-
-AggregateResult run_many(const RunConfig& config, std::size_t num_seeds,
-                         std::size_t threads, double confidence) {
-  VDM_REQUIRE(num_seeds >= 1);
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (config.keep_epochs) {
+    const std::span<const metrics::EpochSample> epochs = collector.samples();
+    r.epochs.assign(epochs.begin(), epochs.end());
   }
-  threads = std::min(threads, num_seeds);
 
-  std::vector<RunResult> runs(num_seeds);
-  std::atomic<std::size_t> next{0};
-  // An exception escaping a worker thread would call std::terminate; keep
-  // the first one and rethrow it on the calling thread after join().
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= num_seeds) return;
-      try {
-        RunConfig cfg = config;
-        cfg.seed = config.seed + i;
-        runs[i] = run_once(cfg);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        next.store(num_seeds);  // drain remaining work; results are moot
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-
-  auto summarize_field = [&](double RunResult::* field) {
-    std::vector<double> v;
-    v.reserve(runs.size());
-    for (const RunResult& r : runs) v.push_back(r.*field);
-    return util::summarize(v, confidence);
-  };
-
-  AggregateResult agg;
-  agg.stress = summarize_field(&RunResult::stress);
-  agg.stretch = summarize_field(&RunResult::stretch);
-  agg.stretch_leaf = summarize_field(&RunResult::stretch_leaf);
-  agg.stretch_max = summarize_field(&RunResult::stretch_max);
-  agg.hopcount = summarize_field(&RunResult::hopcount);
-  agg.hop_leaf = summarize_field(&RunResult::hop_leaf);
-  agg.hop_max = summarize_field(&RunResult::hop_max);
-  agg.loss = summarize_field(&RunResult::loss);
-  agg.overhead = summarize_field(&RunResult::overhead);
-  agg.overhead_per_chunk = summarize_field(&RunResult::overhead_per_chunk);
-  agg.network_usage = summarize_field(&RunResult::network_usage);
-  agg.startup_avg = summarize_field(&RunResult::startup_avg);
-  agg.startup_max = summarize_field(&RunResult::startup_max);
-  agg.reconnect_avg = summarize_field(&RunResult::reconnect_avg);
-  agg.reconnect_max = summarize_field(&RunResult::reconnect_max);
-  agg.detection_avg = summarize_field(&RunResult::detection_avg);
-  agg.detection_max = summarize_field(&RunResult::detection_max);
-  agg.outage_avg = summarize_field(&RunResult::outage_avg);
-  agg.outage_max = summarize_field(&RunResult::outage_max);
-  agg.mst_ratio = summarize_field(&RunResult::mst_ratio);
-  agg.runs = std::move(runs);
-  return agg;
+  // Arena-growth accounting: a run that ends with more reserved bytes than
+  // any run before it grew some buffer. Steady-state sweeps (same-shaped
+  // configs on one worker) must not move this counter after their first run.
+  const std::size_t cap = scratch.impl_->capacity_bytes();
+  if (cap > scratch.impl_->high_water) {
+    ++scratch.impl_->grow_events;
+    scratch.impl_->high_water = cap;
+  }
+  return r;
 }
 
 std::size_t default_seeds(std::size_t fast, std::size_t full) {

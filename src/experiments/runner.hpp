@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "metrics/collector.hpp"
@@ -95,8 +96,40 @@ struct RunResult {
   std::vector<metrics::EpochSample> epochs;  // only if keep_epochs
 };
 
+/// Reusable per-worker working memory for run_once: topology construction
+/// buffers, the underlay (graph, router caches, host-pair cache), and the
+/// collector's epoch storage. One scratch belongs to one worker; handing the
+/// same scratch to consecutive runs rebuilds every structure in place, so a
+/// steady-state sweep performs no scaffolding allocations after the first
+/// run of each shape. Results are bit-identical to scratch-free runs.
+class RunScratch {
+ public:
+  RunScratch();
+  ~RunScratch();
+  RunScratch(RunScratch&&) noexcept;
+  RunScratch& operator=(RunScratch&&) noexcept;
+
+  /// Runs whose end-of-run arena capacity exceeded every earlier run's (the
+  /// first run on a fresh scratch always grows). A steady-state sweep holds
+  /// this constant — the alloc counter proving arena reuse.
+  std::uint64_t grow_events() const;
+  /// Heap bytes currently reserved across all arena-managed buffers.
+  std::size_t capacity_bytes() const;
+
+  /// Opaque storage (definition local to runner.cpp).
+  struct Impl;
+
+ private:
+  friend RunResult run_once(const RunConfig& config, RunScratch& scratch);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Executes one seed end to end: build substrate, run scenario, measure.
 RunResult run_once(const RunConfig& config);
+
+/// Arena variant: identical output, but topology/underlay/collector storage
+/// comes from (and returns to) `scratch`.
+RunResult run_once(const RunConfig& config, RunScratch& scratch);
 
 /// Seed-aggregated statistics (one Summary per metric, paper-style 90% CI).
 struct AggregateResult {
@@ -108,7 +141,9 @@ struct AggregateResult {
 };
 
 /// Runs `num_seeds` independent seeds (config.seed + i) on up to `threads`
-/// worker threads (0 = hardware concurrency) and aggregates.
+/// workers (0 = hardware concurrency) and aggregates. A thin wrapper over
+/// run_grid (sweep.hpp) with a single grid point: shared task pool,
+/// per-worker arenas, deterministic index-ordered aggregation.
 AggregateResult run_many(const RunConfig& config, std::size_t num_seeds,
                          std::size_t threads = 0, double confidence = 0.90);
 

@@ -4,15 +4,41 @@
 
 namespace vdm::metrics {
 
+std::size_t CollectorScratch::capacity_bytes() const {
+  std::size_t bytes = samples.capacity() * sizeof(EpochSample) +
+                      (startup_buf.capacity() + reconnect_buf.capacity()) *
+                          sizeof(overlay::TimingRecord);
+  for (const EpochSample& e : samples) {
+    bytes += (e.startup_times.capacity() + e.reconnect_times.capacity() +
+              e.detection_times.capacity() + e.outage_times.capacity()) *
+             sizeof(double);
+  }
+  bytes += tree.link_count.capacity() * sizeof(std::uint32_t) +
+           tree.link_epoch.capacity() * sizeof(std::uint64_t) +
+           tree.links_touched.capacity() * sizeof(net::LinkId) +
+           tree.overlay_delay.capacity() * sizeof(double) +
+           tree.order.capacity() * sizeof(net::HostId);
+  return bytes;
+}
+
 void Collector::capture(sim::Time at) {
   overlay::Session& s = *session_;
-  EpochSample e;
+  CollectorScratch& sc = *scratch_;
+  if (sc.used == sc.samples.size()) sc.samples.emplace_back();
+  EpochSample& e = sc.samples[sc.used];
+  ++sc.used;
+
+  // The slot may hold a stale sample from a previous run on this arena:
+  // every scalar is assigned, every vector rebuilt in place.
   e.at = at;
-  e.tree = measure_tree(s.tree(), s.source(), s.underlay(), scratch_);
+  e.tree = measure_tree(s.tree(), s.source(), s.underlay(), sc.tree);
 
   const overlay::Session::Counters& w = s.window();
   e.control_messages = w.control_messages;
   e.data_transmissions = w.data_transmissions;
+  e.loss_rate = 0.0;
+  e.overhead = 0.0;
+  e.overhead_per_chunk = 0.0;
   if (w.chunks_expected > 0) {
     e.loss_rate = 1.0 - static_cast<double>(w.chunks_delivered) /
                             static_cast<double>(w.chunks_expected);
@@ -25,33 +51,35 @@ void Collector::capture(sim::Time at) {
     e.overhead_per_chunk = static_cast<double>(w.control_messages) /
                            static_cast<double>(w.chunks_emitted);
   }
-  auto to_durations = [](const std::vector<overlay::TimingRecord>& recs) {
-    std::vector<double> out;
+  auto to_durations = [](const std::vector<overlay::TimingRecord>& recs,
+                         std::vector<double>& out) {
+    out.clear();
     out.reserve(recs.size());
     for (const auto& r : recs) out.push_back(r.duration);
-    return out;
   };
-  e.startup_times = to_durations(s.take_startup_records());
-  const std::vector<overlay::TimingRecord> reconnects = s.take_reconnect_records();
-  e.reconnect_times = to_durations(reconnects);
-  for (const auto& r : reconnects) {
+  s.drain_startup_records(sc.startup_buf);
+  to_durations(sc.startup_buf, e.startup_times);
+  s.drain_reconnect_records(sc.reconnect_buf);
+  to_durations(sc.reconnect_buf, e.reconnect_times);
+  e.detection_times.clear();
+  e.outage_times.clear();
+  for (const auto& r : sc.reconnect_buf) {
     if (r.detection > 0.0) {
       e.detection_times.push_back(r.detection);
       e.outage_times.push_back(r.detection + r.duration);
     }
   }
 
-  samples_.push_back(std::move(e));
   s.reset_window();
 }
 
 double Collector::mean_of(const std::function<double(const EpochSample&)>& get,
                           std::size_t skip) const {
   VDM_REQUIRE(get != nullptr);
-  if (samples_.size() <= skip) return 0.0;
+  if (samples().size() <= skip) return 0.0;
   double sum = 0.0;
-  for (std::size_t i = skip; i < samples_.size(); ++i) sum += get(samples_[i]);
-  return sum / static_cast<double>(samples_.size() - skip);
+  for (std::size_t i = skip; i < samples().size(); ++i) sum += get(samples()[i]);
+  return sum / static_cast<double>(samples().size() - skip);
 }
 
 double Collector::mean_stress(std::size_t skip) const {
@@ -78,28 +106,28 @@ double Collector::mean_network_usage(std::size_t skip) const {
 
 std::vector<double> Collector::all_startup_times() const {
   std::vector<double> out;
-  for (const auto& e : samples_)
+  for (const auto& e : samples())
     out.insert(out.end(), e.startup_times.begin(), e.startup_times.end());
   return out;
 }
 
 std::vector<double> Collector::all_reconnect_times() const {
   std::vector<double> out;
-  for (const auto& e : samples_)
+  for (const auto& e : samples())
     out.insert(out.end(), e.reconnect_times.begin(), e.reconnect_times.end());
   return out;
 }
 
 std::vector<double> Collector::all_detection_times() const {
   std::vector<double> out;
-  for (const auto& e : samples_)
+  for (const auto& e : samples())
     out.insert(out.end(), e.detection_times.begin(), e.detection_times.end());
   return out;
 }
 
 std::vector<double> Collector::all_outage_times() const {
   std::vector<double> out;
-  for (const auto& e : samples_)
+  for (const auto& e : samples())
     out.insert(out.end(), e.outage_times.begin(), e.outage_times.end());
   return out;
 }

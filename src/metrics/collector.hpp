@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "metrics/tree_metrics.hpp"
@@ -34,17 +35,48 @@ struct EpochSample {
   std::vector<double> outage_times;
 };
 
+/// Reusable working memory for a Collector: the epoch-sample slots (and all
+/// their nested vectors), the timing-record swap buffers, and the
+/// tree-metrics scratch. A per-worker run arena holds one of these so that
+/// every run after the first on a worker captures epochs without growing the
+/// heap. Carries no state between runs beyond capacity.
+struct CollectorScratch {
+  std::vector<EpochSample> samples;  ///< slot pool; first `used` are live
+  std::size_t used = 0;
+  /// Swap buffers for Session::drain_*_records (ping-pong, no allocation).
+  std::vector<overlay::TimingRecord> startup_buf;
+  std::vector<overlay::TimingRecord> reconnect_buf;
+  TreeMetricsScratch tree;
+
+  /// Heap bytes reserved across all slots and buffers — the arena-growth
+  /// accounting input (a steady-state capture loop keeps this constant).
+  std::size_t capacity_bytes() const;
+};
+
 /// Captures epochs from a Session at measurement points and aggregates them
 /// into the scalar series the paper's figures plot.
 class Collector {
  public:
-  explicit Collector(overlay::Session& session) : session_(&session) {}
+  explicit Collector(overlay::Session& session)
+      : session_(&session), scratch_(&owned_) {
+    owned_.used = 0;
+  }
+
+  /// Borrows an external scratch (a run arena's): sample slots, timing
+  /// buffers and tree scratch are reused across Collector lifetimes. Resets
+  /// `used`, not capacity. The scratch must outlive the Collector.
+  Collector(overlay::Session& session, CollectorScratch& scratch)
+      : session_(&session), scratch_(&scratch) {
+    scratch.used = 0;
+  }
 
   /// Snapshot now, then reset the session's window counters. Call from the
   /// ScenarioDriver's measurement callback.
   void capture(sim::Time at);
 
-  const std::vector<EpochSample>& samples() const { return samples_; }
+  std::span<const EpochSample> samples() const {
+    return {scratch_->samples.data(), scratch_->used};
+  }
 
   /// Mean of an epoch field over samples [skip, end).
   double mean_of(const std::function<double(const EpochSample&)>& get,
@@ -68,10 +100,11 @@ class Collector {
 
  private:
   overlay::Session* session_;
-  std::vector<EpochSample> samples_;
-  /// Reused across captures so measure_tree stays allocation-free in
-  /// steady state (the hot loop of every run_once epoch sweep).
-  TreeMetricsScratch scratch_;
+  /// Active scratch: &owned_ for the plain constructor, the caller's arena
+  /// for the borrowing one. Reusing slots keeps measure_tree and the epoch
+  /// capture loop allocation-free in steady state.
+  CollectorScratch* scratch_;
+  CollectorScratch owned_;
 };
 
 }  // namespace vdm::metrics

@@ -46,13 +46,29 @@ void Graph::rebuild_adjacency() const {
   }
   for (std::size_t i = 1; i <= num_nodes_; ++i) offsets_[i] += offsets_[i - 1];
   arcs_.resize(2 * links_.size());
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
   for (LinkId id = 0; id < links_.size(); ++id) {
     const Link& l = links_[id];
-    arcs_[cursor[l.a]++] = Arc{l.b, id, l.delay};
-    arcs_[cursor[l.b]++] = Arc{l.a, id, l.delay};
+    arcs_[cursor_[l.a]++] = Arc{l.b, id, l.delay};
+    arcs_[cursor_[l.b]++] = Arc{l.a, id, l.delay};
   }
   adjacency_dirty_ = false;
+}
+
+void Graph::clear() {
+  num_nodes_ = 0;
+  links_.clear();
+  offsets_.clear();
+  arcs_.clear();
+  adjacency_dirty_ = true;
+  ++version_;
+}
+
+std::size_t Graph::capacity_bytes() const {
+  return links_.capacity() * sizeof(Link) +
+         offsets_.capacity() * sizeof(std::size_t) +
+         arcs_.capacity() * sizeof(Arc) +
+         cursor_.capacity() * sizeof(std::size_t);
 }
 
 bool Graph::connected() const {

@@ -69,6 +69,18 @@ class Graph {
   /// detect staleness.
   std::uint64_t version() const { return version_; }
 
+  /// Removes every node and link but keeps all allocated capacity, so a
+  /// generator rebuilding into this object allocates nothing once the
+  /// object has hosted a same-sized topology. version() keeps increasing
+  /// monotonically — caches treat the rebuild as a mutation, never as a
+  /// rollback to a previously seen version.
+  void clear();
+
+  /// Heap bytes currently reserved by this graph's buffers (links + CSR
+  /// adjacency). Arena growth accounting: unchanged across a clear() +
+  /// rebuild means the rebuild was allocation-free.
+  std::size_t capacity_bytes() const;
+
  private:
   void rebuild_adjacency() const;
 
@@ -79,6 +91,7 @@ class Graph {
   mutable bool adjacency_dirty_ = true;
   mutable std::vector<std::size_t> offsets_;  // CSR row starts, size num_nodes_+1
   mutable std::vector<Arc> arcs_;             // CSR payload, 2 * num_links
+  mutable std::vector<std::size_t> cursor_;   // rebuild scratch, capacity kept
 };
 
 }  // namespace vdm::net

@@ -15,10 +15,13 @@ const Router::PathStats& GraphUnderlay::pair(HostId a, HostId b) const {
   if (cached_version_ != graph_.version()) {
     ++epoch_;  // O(1) invalidation of every cached pair
     cached_version_ = graph_.version();
-    if (pair_stats_.empty()) {
-      const std::size_t n = hosts_.size();
-      pair_stats_.resize(n * (n - 1) / 2);
-      pair_epoch_.resize(pair_stats_.size(), 0);
+    const std::size_t n = hosts_.size();
+    const std::size_t want = n * (n - 1) / 2;
+    if (pair_stats_.size() != want) {
+      // First use, or a rebind() changed the host count. assign() keeps the
+      // previously grown capacity, so same-sized rebuilds are free.
+      pair_stats_.resize(want);
+      pair_epoch_.assign(want, 0);
     }
   }
   const std::size_t i = pair_index(a, b);
@@ -43,6 +46,33 @@ void GraphUnderlay::for_each_path_link(HostId a, HostId b,
                                        util::FunctionRef<void(LinkId)> visit) const {
   router_.for_each_link(hosts_.at(a), hosts_.at(b),
                         [&visit](LinkId l) { visit(l); });
+}
+
+void GraphUnderlay::release(Graph& graph_out, std::vector<NodeId>& hosts_out) {
+  graph_out = std::move(graph_);
+  hosts_out = std::move(hosts_);
+  // graph_ / hosts_ are now empty husks; router_ still references the
+  // graph_ member object (stable address), so rebind() revives everything.
+}
+
+void GraphUnderlay::rebind(Graph graph, std::vector<NodeId> hosts) {
+  graph_ = std::move(graph);
+  hosts_ = std::move(hosts);
+  VDM_REQUIRE_MSG(!hosts_.empty(), "an underlay needs at least one host");
+  for (const NodeId v : hosts_) VDM_REQUIRE(v < graph_.num_nodes());
+  // The rebuilt graph carries a strictly newer version (Graph::clear bumps
+  // it), so the router cache and the pair cache invalidate lazily on first
+  // query; forcing it here keeps rebind() robust even against an identical
+  // version (e.g. a caller that swapped in a fresh Graph object).
+  router_.clear_cache();
+  cached_version_ = ~0ull;
+}
+
+std::size_t GraphUnderlay::arena_capacity_bytes() const {
+  return graph_.capacity_bytes() + router_.cache_capacity_bytes() +
+         hosts_.capacity() * sizeof(NodeId) +
+         pair_stats_.capacity() * sizeof(Router::PathStats) +
+         pair_epoch_.capacity() * sizeof(std::uint64_t);
 }
 
 }  // namespace vdm::net

@@ -60,6 +60,27 @@ class GraphUnderlay final : public Underlay {
   const Router& router() const { return router_; }
   NodeId host_vertex(HostId h) const { return hosts_.at(h); }
 
+  // ------------------------------------------------------------ arena reuse
+  // A sweep worker runs many seeds of the same configuration; rebuilding the
+  // underlay from scratch each seed re-allocates the graph, the router's
+  // dense tree cache and the O(n^2) pair cache. release()/rebind() instead
+  // shuttle the graph buffers out to the topology generator and back, so a
+  // steady-state rebuild performs zero scaffolding allocations.
+
+  /// Moves the topology out (into the caller's arena variables) so a
+  /// generator can rebuild into the same storage. Queries are invalid until
+  /// rebind() seats a new topology.
+  void release(Graph& graph_out, std::vector<NodeId>& hosts_out);
+
+  /// Seats a freshly built topology, keeping the capacity of every cache.
+  /// The router and pair caches invalidate via the graph's monotone
+  /// version, exactly as a mutation would.
+  void rebind(Graph graph, std::vector<NodeId> hosts);
+
+  /// Heap bytes reserved by the graph, router cache, pair cache and host
+  /// map — the underlay's whole arena footprint.
+  std::size_t arena_capacity_bytes() const;
+
  private:
   /// Strict-upper-triangle index of the unordered host pair {a, b}, a != b.
   std::size_t pair_index(HostId a, HostId b) const {

@@ -10,6 +10,10 @@ namespace vdm::net {
 MatrixUnderlay::MatrixUnderlay(std::size_t n, std::vector<double> delay,
                                std::vector<double> loss)
     : n_(n), delay_(std::move(delay)), loss_(std::move(loss)) {
+  validate_and_index();
+}
+
+void MatrixUnderlay::validate_and_index() {
   VDM_REQUIRE(n_ >= 1);
   VDM_REQUIRE(delay_.size() == n_ * n_);
   VDM_REQUIRE(loss_.empty() || loss_.size() == n_ * n_);
@@ -24,13 +28,27 @@ MatrixUnderlay::MatrixUnderlay(std::size_t n, std::vector<double> delay,
       }
     }
   }
-  row_start_.reserve(n_);
+  row_start_.clear();
   std::size_t start = 0;
   for (std::size_t a = 0; a + 1 < n_; ++a) {
     row_start_.push_back(start);
     start += n_ - a - 1;
   }
   row_start_.push_back(start);  // == num_links() sentinel
+}
+
+void MatrixUnderlay::release(std::vector<double>& delay_out,
+                             std::vector<double>& loss_out) {
+  delay_out = std::move(delay_);
+  loss_out = std::move(loss_);
+}
+
+void MatrixUnderlay::rebind(std::size_t n, std::vector<double> delay,
+                            std::vector<double> loss) {
+  n_ = n;
+  delay_ = std::move(delay);
+  loss_ = std::move(loss);
+  validate_and_index();
 }
 
 LinkId MatrixUnderlay::pair_link(HostId a, HostId b) const {

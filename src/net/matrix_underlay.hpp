@@ -37,7 +37,24 @@ class MatrixUnderlay final : public Underlay {
   /// Pseudo-link id of the unordered pair {a, b}, a != b.
   LinkId pair_link(HostId a, HostId b) const;
 
+  // ------------------------------------------------------------ arena reuse
+  /// Moves the matrices out so a generator can refill the same storage;
+  /// queries are invalid until rebind() seats new matrices.
+  void release(std::vector<double>& delay_out, std::vector<double>& loss_out);
+
+  /// Seats freshly filled matrices (same contract as the constructor),
+  /// keeping the row-offset buffer's capacity.
+  void rebind(std::size_t n, std::vector<double> delay, std::vector<double> loss);
+
+  /// Heap bytes reserved by the matrices and the row-offset index.
+  std::size_t arena_capacity_bytes() const {
+    return (delay_.capacity() + loss_.capacity()) * sizeof(double) +
+           row_start_.capacity() * sizeof(std::size_t);
+  }
+
  private:
+  void validate_and_index();
+
   std::size_t idx(HostId a, HostId b) const { return static_cast<std::size_t>(a) * n_ + b; }
 
   std::size_t n_;

@@ -164,4 +164,18 @@ void Router::clear_cache() const {
   cached_version_ = ~0ull;
 }
 
+std::size_t Router::cache_capacity_bytes() const {
+  std::size_t bytes = trees_.capacity() * sizeof(Sssp) +
+                      tree_epoch_.capacity() * sizeof(std::uint64_t) +
+                      heap_.capacity() * sizeof(HeapEntry) +
+                      heap_pos_.capacity() * sizeof(std::uint32_t) +
+                      path_scratch_.capacity() * sizeof(LinkId);
+  for (const Sssp& t : trees_) {
+    bytes += t.dist.capacity() * sizeof(double) +
+             t.parent_link.capacity() * sizeof(LinkId) +
+             t.parent_node.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
 }  // namespace vdm::net

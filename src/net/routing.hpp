@@ -70,6 +70,11 @@ class Router {
   /// Drops all memoized shortest-path trees.
   void clear_cache() const;
 
+  /// Heap bytes reserved by the memoized trees and Dijkstra scratch. The
+  /// buffers are sized by node count on first use and then only reused, so
+  /// a steady value across graph rebuilds proves allocation-free routing.
+  std::size_t cache_capacity_bytes() const;
+
  private:
   struct Sssp {
     std::vector<double> dist;

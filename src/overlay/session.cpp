@@ -363,6 +363,16 @@ std::vector<TimingRecord> Session::take_reconnect_records() {
   return std::exchange(reconnect_records_, {});
 }
 
+void Session::drain_startup_records(std::vector<TimingRecord>& out) {
+  out.clear();
+  std::swap(out, startup_records_);
+}
+
+void Session::drain_reconnect_records(std::vector<TimingRecord>& out) {
+  out.clear();
+  std::swap(out, reconnect_records_);
+}
+
 void Session::emit_chunk() {
   ++window_.chunks_emitted;
   ++totals_.chunks_emitted;

@@ -180,6 +180,12 @@ class Session {
   std::vector<TimingRecord> take_startup_records();
   std::vector<TimingRecord> take_reconnect_records();
 
+  /// Arena variants: swap the accumulated records into `out` (cleared
+  /// first); the session keeps accumulating into out's previous storage, so
+  /// a capture loop ping-pongs two buffers instead of allocating.
+  void drain_startup_records(std::vector<TimingRecord>& out);
+  void drain_reconnect_records(std::vector<TimingRecord>& out);
+
  private:
   TimingRecord run_join(net::HostId h, net::HostId start, bool is_reconnect,
                         sim::Time detection = 0.0);

@@ -1,6 +1,7 @@
 #include "testbed/controller.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "baselines/mst_overlay.hpp"
 #include "util/require.hpp"
@@ -72,7 +73,8 @@ SessionReport MainController::run(const Scenario& scenario) {
   session_->stop();
 
   SessionReport report;
-  report.epochs = collector_->samples();
+  const std::span<const metrics::EpochSample> epochs = collector_->samples();
+  report.epochs.assign(epochs.begin(), epochs.end());
   report.final_tree =
       metrics::measure_tree(session_->tree(), session_->source(), underlay_);
   report.startup_times = collector_->all_startup_times();

@@ -48,6 +48,25 @@ double great_circle_km(double lat1, double lon1, double lat2, double lon2) {
 }
 
 GeoTopology make_geo(const GeoParams& params, util::Rng& rng) {
+  std::vector<GeoHost> hosts;
+  std::vector<double> delay;
+  std::vector<double> loss;
+  make_geo_into(params, rng, hosts, delay, loss);
+
+  const std::vector<GeoRegion> regions =
+      params.regions.empty() ? us_regions() : params.regions;
+  std::vector<std::string> region_names;
+  region_names.reserve(regions.size());
+  for (const auto& r : regions) region_names.push_back(r.name);
+
+  const std::size_t n = params.num_hosts;
+  return GeoTopology{std::move(hosts), std::move(region_names),
+                     net::MatrixUnderlay(n, std::move(delay), std::move(loss))};
+}
+
+void make_geo_into(const GeoParams& params, util::Rng& rng,
+                   std::vector<GeoHost>& hosts, std::vector<double>& delay,
+                   std::vector<double>& loss) {
   VDM_REQUIRE(params.num_hosts >= 2);
   const std::vector<GeoRegion> regions =
       params.regions.empty() ? us_regions() : params.regions;
@@ -55,7 +74,7 @@ GeoTopology make_geo(const GeoParams& params, util::Rng& rng) {
   for (const auto& r : regions) total_weight += r.weight;
   VDM_REQUIRE(total_weight > 0.0);
 
-  std::vector<GeoHost> hosts;
+  hosts.clear();
   hosts.reserve(params.num_hosts);
   for (std::size_t h = 0; h < params.num_hosts; ++h) {
     double pick = rng.uniform(0.0, total_weight);
@@ -75,8 +94,8 @@ GeoTopology make_geo(const GeoParams& params, util::Rng& rng) {
   }
 
   const std::size_t n = params.num_hosts;
-  std::vector<double> delay(n * n, 0.0);
-  std::vector<double> loss(n * n, 0.0);
+  delay.assign(n * n, 0.0);
+  loss.assign(n * n, 0.0);
   bool any_loss = false;
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
@@ -92,14 +111,7 @@ GeoTopology make_geo(const GeoParams& params, util::Rng& rng) {
       if (l > 0.0) any_loss = true;
     }
   }
-  if (!any_loss) loss.clear();
-
-  std::vector<std::string> region_names;
-  region_names.reserve(regions.size());
-  for (const auto& r : regions) region_names.push_back(r.name);
-
-  return GeoTopology{std::move(hosts), std::move(region_names),
-                     net::MatrixUnderlay(n, std::move(delay), std::move(loss))};
+  if (!any_loss) loss.clear();  // clear() keeps capacity for the next reuse
 }
 
 }  // namespace vdm::topo

@@ -60,4 +60,12 @@ double great_circle_km(double lat1, double lon1, double lat2, double lon2);
 
 GeoTopology make_geo(const GeoParams& params, util::Rng& rng);
 
+/// Arena variant: same draws as make_geo, but host placements and the n*n
+/// delay/loss matrices land in the caller's buffers (resized in place,
+/// capacity kept; `loss` is left empty for a loss-free model). The caller
+/// seats the matrices via net::MatrixUnderlay::rebind (or the constructor).
+void make_geo_into(const GeoParams& params, util::Rng& rng,
+                   std::vector<GeoHost>& hosts, std::vector<double>& delay,
+                   std::vector<double>& loss);
+
 }  // namespace vdm::topo

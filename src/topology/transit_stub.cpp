@@ -43,10 +43,20 @@ void connect_domain(net::Graph& graph, const std::vector<net::NodeId>& members,
 }  // namespace
 
 TransitStubTopology make_transit_stub(const TransitStubParams& p, util::Rng& rng) {
+  TransitStubTopology topo;
+  make_transit_stub(p, rng, topo);
+  return topo;
+}
+
+void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
+                       TransitStubTopology& topo) {
   VDM_REQUIRE(p.transit_domains >= 1 && p.routers_per_transit >= 1);
   VDM_REQUIRE(p.routers_per_stub >= 1);
 
-  TransitStubTopology topo;
+  topo.graph.clear();
+  topo.transit_routers.clear();
+  topo.stub_routers.clear();
+  topo.stub_domain_of.clear();
   net::Graph& g = topo.graph;
 
   // 1. Transit domains.
@@ -112,16 +122,16 @@ TransitStubTopology make_transit_stub(const TransitStubParams& p, util::Rng& rng
   }
 
   VDM_REQUIRE_MSG(g.connected(), "generator must produce a connected graph");
-  return topo;
 }
 
-net::GraphUnderlay attach_hosts(net::Graph graph,
-                                const std::vector<net::NodeId>& candidates,
-                                const HostAttachment& params, util::Rng& rng) {
+void attach_hosts_into(net::Graph& graph,
+                       const std::vector<net::NodeId>& candidates,
+                       const HostAttachment& params, util::Rng& rng,
+                       std::vector<net::NodeId>& hosts_out) {
   VDM_REQUIRE(!candidates.empty());
   VDM_REQUIRE(params.num_hosts >= 1);
-  std::vector<net::NodeId> hosts;
-  hosts.reserve(params.num_hosts);
+  hosts_out.clear();
+  hosts_out.reserve(params.num_hosts);
   for (std::size_t h = 0; h < params.num_hosts; ++h) {
     const net::NodeId router = candidates[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
@@ -129,8 +139,15 @@ net::GraphUnderlay attach_hosts(net::Graph graph,
     graph.add_link(host, router,
                    rng.uniform(params.access_delay_min, params.access_delay_max),
                    params.loss_max > 0.0 ? rng.uniform(params.loss_min, params.loss_max) : 0.0);
-    hosts.push_back(host);
+    hosts_out.push_back(host);
   }
+}
+
+net::GraphUnderlay attach_hosts(net::Graph graph,
+                                const std::vector<net::NodeId>& candidates,
+                                const HostAttachment& params, util::Rng& rng) {
+  std::vector<net::NodeId> hosts;
+  attach_hosts_into(graph, candidates, params, rng, hosts);
   return net::GraphUnderlay(std::move(graph), std::move(hosts));
 }
 

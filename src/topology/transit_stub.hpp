@@ -56,6 +56,12 @@ struct TransitStubTopology {
 /// Builds the router graph. Deterministic in `rng`.
 TransitStubTopology make_transit_stub(const TransitStubParams& params, util::Rng& rng);
 
+/// Arena variant: rebuilds into `out`, clearing its graph and metadata
+/// vectors but keeping their capacity — repeated same-sized generations are
+/// allocation-free. Produces the identical topology for the same rng state.
+void make_transit_stub(const TransitStubParams& params, util::Rng& rng,
+                       TransitStubTopology& out);
+
 /// Host-attachment parameters shared by all router-graph generators.
 struct HostAttachment {
   std::size_t num_hosts = 200;
@@ -71,6 +77,15 @@ struct HostAttachment {
 net::GraphUnderlay attach_hosts(net::Graph graph,
                                 const std::vector<net::NodeId>& candidates,
                                 const HostAttachment& params, util::Rng& rng);
+
+/// Arena variant: appends hosts to `graph` in place and records their
+/// vertices in `hosts_out` (cleared first, capacity kept). Same rng draws
+/// and topology as attach_hosts; the caller seats the result via
+/// GraphUnderlay::rebind (or the constructor).
+void attach_hosts_into(net::Graph& graph,
+                       const std::vector<net::NodeId>& candidates,
+                       const HostAttachment& params, util::Rng& rng,
+                       std::vector<net::NodeId>& hosts_out);
 
 /// One-call convenience: transit-stub routers + hosts on stub routers.
 net::GraphUnderlay make_transit_stub_underlay(const TransitStubParams& topo_params,

@@ -44,10 +44,17 @@ class UnionFind {
 }  // namespace
 
 WaxmanTopology make_waxman(const WaxmanParams& p, util::Rng& rng) {
+  WaxmanTopology topo;
+  make_waxman(p, rng, topo);
+  return topo;
+}
+
+void make_waxman(const WaxmanParams& p, util::Rng& rng, WaxmanTopology& topo) {
   VDM_REQUIRE(p.num_routers >= 2);
   VDM_REQUIRE(p.alpha > 0.0 && p.beta > 0.0);
 
-  WaxmanTopology topo;
+  topo.graph.clear();
+  topo.coords.clear();
   topo.graph.add_nodes(p.num_routers);
   topo.coords.reserve(p.num_routers);
   for (std::size_t i = 0; i < p.num_routers; ++i) {
@@ -96,7 +103,6 @@ WaxmanTopology make_waxman(const WaxmanParams& p, util::Rng& rng) {
   }
 
   VDM_REQUIRE(topo.graph.connected());
-  return topo;
 }
 
 }  // namespace vdm::topo

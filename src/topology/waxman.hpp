@@ -35,4 +35,8 @@ struct WaxmanTopology {
 
 WaxmanTopology make_waxman(const WaxmanParams& params, util::Rng& rng);
 
+/// Arena variant: rebuilds into `out`, clearing graph and coords but keeping
+/// their capacity. Identical topology for the same rng state.
+void make_waxman(const WaxmanParams& params, util::Rng& rng, WaxmanTopology& out);
+
 }  // namespace vdm::topo

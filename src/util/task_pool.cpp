@@ -1,0 +1,203 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace vdm::util {
+
+namespace {
+constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+/// One worker's contiguous slice of the batch's index range. The owner pops
+/// from the front, thieves pop from the back; the mutex is uncontended in
+/// the common case and tasks are whole simulations, so a lock per task is
+/// noise (and keeps the executor trivially ThreadSanitizer-clean).
+struct TaskPool::Shard {
+  std::mutex mu;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct TaskPool::Batch {
+  explicit Batch(FunctionRef<void(const Context&)> f, std::size_t workers,
+                 std::size_t n)
+      : fn(f), shards(workers), remaining(n) {}
+
+  FunctionRef<void(const Context&)> fn;
+  std::vector<Shard> shards;
+  /// Next worker slot to hand out; slot 0 is the submitting thread.
+  std::atomic<std::size_t> next_slot{1};
+  /// Tasks not yet finished (or drained). 0 = batch complete.
+  std::atomic<std::size_t> remaining;
+  /// Pool threads currently inside process() for this batch. The submitter
+  /// must not return (and destroy this stack object) while any helper still
+  /// holds a reference, even after the last task finished.
+  std::atomic<std::size_t> active{0};
+  CancelToken cancel;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first failure; guarded by done_mu
+
+  bool has_unclaimed_work() {
+    for (Shard& s : shards) {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      if (s.begin < s.end) return true;
+    }
+    return false;
+  }
+};
+
+TaskPool& TaskPool::global() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::TaskPool(std::size_t max_threads) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  default_parallelism_ = hw;
+  // Allow explicit oversubscription (e.g. --threads 8 on a 2-core CI box,
+  // or the determinism tests' threads > cores runs) without letting a typo
+  // spawn thousands of threads.
+  max_workers_ = max_threads > 0 ? max_threads : std::max<std::size_t>(hw, 16);
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t TaskPool::workers_for(std::size_t n, std::size_t parallelism) const {
+  if (parallelism == 0) parallelism = default_parallelism_;
+  return std::max<std::size_t>(1, std::min({n, parallelism, max_workers_}));
+}
+
+void TaskPool::ensure_threads(std::size_t helpers) {
+  while (threads_.size() < helpers) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void TaskPool::process(Batch& batch, std::size_t slot) {
+  const std::size_t workers = batch.shards.size();
+  for (;;) {
+    std::size_t index = kNoTask;
+    {
+      Shard& own = batch.shards[slot];
+      const std::lock_guard<std::mutex> lock(own.mu);
+      if (own.begin < own.end) index = own.begin++;
+    }
+    // Own shard drained: steal one task from the back of the next
+    // non-empty shard on the ring. Grain 1 is optimal load balancing for
+    // millisecond-scale tasks; the back end keeps thieves out of the
+    // owner's cache-warm front.
+    for (std::size_t d = 1; d < workers && index == kNoTask; ++d) {
+      Shard& victim = batch.shards[(slot + d) % workers];
+      const std::lock_guard<std::mutex> lock(victim.mu);
+      if (victim.begin < victim.end) index = --victim.end;
+    }
+    if (index == kNoTask) return;
+
+    if (!batch.cancel.cancelled()) {
+      try {
+        batch.fn(Context{index, slot, batch.cancel});
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(batch.done_mu);
+          if (!batch.error) batch.error = std::current_exception();
+        }
+        batch.cancel.cancel();  // drain: nobody starts another task
+      }
+    }
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(batch.done_mu);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void TaskPool::worker_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Batch* chosen = nullptr;
+    for (Batch* b : batches_) {
+      if (b->next_slot.load(std::memory_order_relaxed) < b->shards.size() &&
+          b->has_unclaimed_work()) {
+        chosen = b;
+        break;
+      }
+    }
+    if (chosen != nullptr) {
+      const std::size_t slot =
+          chosen->next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= chosen->shards.size()) continue;  // lost the race; rescan
+      chosen->active.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      process(*chosen, slot);
+      {
+        const std::lock_guard<std::mutex> done(chosen->done_mu);
+        chosen->active.fetch_sub(1, std::memory_order_relaxed);
+        chosen->done_cv.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void TaskPool::for_n(std::size_t n, std::size_t parallelism,
+                     FunctionRef<void(const Context&)> fn) {
+  if (n == 0) return;
+  const std::size_t workers = workers_for(n, parallelism);
+
+  Batch batch(fn, workers, n);
+  // Contiguous block partition: worker w starts on [w*n/W, (w+1)*n/W).
+  for (std::size_t w = 0; w < workers; ++w) {
+    batch.shards[w].begin = w * n / workers;
+    batch.shards[w].end = (w + 1) * n / workers;
+  }
+
+  const bool shared = workers > 1;
+  if (shared) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      VDM_REQUIRE_MSG(!shutdown_, "TaskPool used after shutdown");
+      ensure_threads(workers - 1);
+      batches_.push_back(&batch);
+    }
+    work_cv_.notify_all();
+  }
+
+  process(batch, /*slot=*/0);  // the submitter always works
+
+  if (shared) {
+    // process() only returns once every shard is empty, so unlisting now
+    // loses no parallelism. Unlist BEFORE waiting: helpers claim a slot and
+    // bump `active` under mu_, so after this erase (same mutex) any helper
+    // still referencing the batch is visible in `active`, and no new helper
+    // can discover it — the stack Batch outlives every reference.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      std::erase(batches_, &batch);
+    }
+    std::unique_lock<std::mutex> done(batch.done_mu);
+    batch.done_cv.wait(done, [&batch] {
+      return batch.remaining.load(std::memory_order_acquire) == 0 &&
+             batch.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace vdm::util

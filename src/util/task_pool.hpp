@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/function_ref.hpp"
+
+namespace vdm::util {
+
+/// Cooperative cancellation flag shared by one task batch. The first worker
+/// exception cancels the batch: not-yet-started tasks are drained without
+/// running, and long tasks may poll cancelled() to bail out early.
+class CancelToken {
+ public:
+  bool cancelled() const noexcept { return flag_.load(std::memory_order_relaxed); }
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Process-wide work-stealing executor for embarrassingly parallel index
+/// batches — the engine under experiments::run_grid / run_many and the
+/// testbed sweeps.
+///
+/// Design:
+///  - for_n(n, p, fn) runs fn for every index in [0, n) and blocks until the
+///    batch is complete. The *calling* thread participates as worker 0, so a
+///    1-way batch never touches a lock or spawns anything.
+///  - Each participating worker owns a contiguous shard of [0, n) and pops
+///    from its front; a worker whose shard is empty steals from the back of
+///    another worker's shard. Contiguous shards keep one grid point's seeds
+///    on one worker (warm per-worker arenas); stealing at grain 1 keeps the
+///    tail of a batch from idling the machine.
+///  - Pool threads start lazily on the first batch that needs them and are
+///    shared by all subsequent batches (no per-batch spawn/join).
+///  - The first exception cancels the batch (see CancelToken) and is
+///    rethrown on the calling thread after the batch drains.
+///  - Nested for_n from inside a task is safe: the inner caller participates
+///    in its own batch, so progress never depends on free pool threads.
+///
+/// Determinism: execution order is unspecified, but fn receives its index,
+/// so writing results[index] and aggregating in index order yields output
+/// that is bit-identical for every thread count.
+class TaskPool {
+ public:
+  struct Context {
+    std::size_t index;   ///< task index in [0, n)
+    std::size_t worker;  ///< worker slot in [0, workers_for(...)), stable per task
+    CancelToken& cancel;
+  };
+
+  /// The shared process-wide pool, sized for the machine. Use this instead
+  /// of constructing private pools so concurrent sweeps share one set of
+  /// threads instead of oversubscribing the host.
+  static TaskPool& global();
+
+  /// `max_threads` bounds the worker count (0 = hardware concurrency, with
+  /// headroom for explicitly requested oversubscription — determinism tests
+  /// run threads > cores even on small machines). No threads start here.
+  explicit TaskPool(std::size_t max_threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Hard cap on concurrently participating workers (and thus worker ids).
+  std::size_t max_workers() const { return max_workers_; }
+
+  /// Workers a for_n(n, parallelism) call would use: min(n, parallelism or
+  /// hardware concurrency, max_workers()). Size per-worker state with this.
+  std::size_t workers_for(std::size_t n, std::size_t parallelism) const;
+
+  /// Runs fn({index, worker, cancel}) for every index in [0, n); blocks
+  /// until done. `parallelism` caps the workers for this batch (0 = hardware
+  /// concurrency). Rethrows the batch's first exception.
+  void for_n(std::size_t n, std::size_t parallelism,
+             FunctionRef<void(const Context&)> fn);
+
+ private:
+  struct Shard;
+  struct Batch;
+
+  void worker_main();
+  /// Spawns pool threads until `threads_` can serve `helpers` helpers.
+  /// Caller holds mu_.
+  void ensure_threads(std::size_t helpers);
+  /// Claims work until the batch has none left this worker can reach.
+  static void process(Batch& batch, std::size_t slot);
+
+  std::mutex mu_;                  // guards batches_, threads_, shutdown_
+  std::condition_variable work_cv_;
+  std::vector<std::thread> threads_;
+  std::vector<Batch*> batches_;    // live batches with possibly unclaimed work
+  std::size_t max_workers_;
+  std::size_t default_parallelism_;
+  bool shutdown_ = false;
+};
+
+}  // namespace vdm::util

@@ -9,6 +9,13 @@
 // name contains the substring — use it to guarantee a mandatory benchmark
 // (e.g. the crash-churn run) actually made it into the trajectory.
 //
+// --max-regress <pct> is the perf gate: before recording, every parsed row
+// is compared against the most recent trajectory entry with a different
+// label (the previous PR's run). If any shared benchmark's real time grew
+// by more than <pct> percent, a comparison table is printed, nothing is
+// written, and the exit code is non-zero. Benchmarks new in this run (no
+// baseline row) are listed but never fail the gate.
+//
 // The trajectory file is an array of
 //   {"label", "recorded_at_utc", "results": {name: {"real_time_ms",
 //    "cpu_time_ms", "iterations", "counters": {...}}}}
@@ -187,6 +194,57 @@ std::string entry_label(const std::string& entry) {
   return out;
 }
 
+/// Extracts {benchmark name -> real_time_ms} from a trajectory entry by
+/// anchoring on the per-row "real_time_ms" key and backtracking to the
+/// quoted row name in front of the row's opening brace.
+std::map<std::string, double> entry_times(const std::string& entry) {
+  std::map<std::string, double> out;
+  const std::string marker = "\"real_time_ms\": ";
+  for (std::size_t at = entry.find(marker); at != std::string::npos;
+       at = entry.find(marker, at + marker.size())) {
+    const std::size_t brace = entry.rfind('{', at);
+    if (brace == std::string::npos || brace == 0) continue;
+    const std::size_t name_close = entry.rfind('"', brace - 1);
+    if (name_close == std::string::npos || name_close == 0) continue;
+    const std::size_t name_open = entry.rfind('"', name_close - 1);
+    if (name_open == std::string::npos) continue;
+    try {
+      out[entry.substr(name_open + 1, name_close - name_open - 1)] =
+          std::stod(entry.substr(at + marker.size()));
+    } catch (const std::exception&) {
+      // Malformed number; skip the row.
+    }
+  }
+  return out;
+}
+
+/// The perf-regression gate: compares every candidate row against the
+/// baseline entry's time for the same benchmark. Returns false (after
+/// printing the offending rows) when any shared benchmark slowed down by
+/// more than `max_regress_pct`.
+bool check_regressions(const std::vector<BenchRow>& rows, const std::string& baseline,
+                       double max_regress_pct) {
+  const std::map<std::string, double> base = entry_times(baseline);
+  bool ok = true;
+  std::fprintf(stderr, "bench_to_json: gating against \"%s\" (max regress %+.1f%%)\n",
+               entry_label(baseline).c_str(), max_regress_pct);
+  for (const BenchRow& r : rows) {
+    const auto it = base.find(r.name);
+    if (it == base.end()) {
+      std::fprintf(stderr, "  %-40s %10.3f ms  (new, no baseline)\n", r.name.c_str(),
+                   r.real_time_ms);
+      continue;
+    }
+    const double delta_pct =
+        it->second > 0.0 ? 100.0 * (r.real_time_ms - it->second) / it->second : 0.0;
+    const bool regressed = delta_pct > max_regress_pct;
+    std::fprintf(stderr, "  %-40s %10.3f ms  vs %10.3f ms  %+7.1f%%%s\n", r.name.c_str(),
+                 r.real_time_ms, it->second, delta_pct, regressed ? "  REGRESSION" : "");
+    if (regressed) ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +311,25 @@ int main(int argc, char** argv) {
     std::cerr << "bench_to_json: " << out_path
               << " is not a trajectory array; refusing to overwrite\n";
     return 1;
+  }
+
+  // Perf gate: compare against the most recent entry recorded under a
+  // different label — the previous PR's trajectory point — before letting
+  // this run into the file.
+  if (flags.has("max-regress")) {
+    const double max_regress = flags.get_double("max-regress", 0.0);
+    const std::string* baseline = nullptr;
+    for (const std::string& e : entries) {
+      if (entry_label(e) != label) baseline = &e;
+    }
+    if (baseline == nullptr) {
+      std::cerr << "bench_to_json: --max-regress: no prior entry with a "
+                   "different label in " << out_path << "; nothing to gate against\n";
+    } else if (!check_regressions(rows, *baseline, max_regress)) {
+      std::cerr << "bench_to_json: perf regression beyond " << max_regress
+                << "% — not recording \"" << label << "\"\n";
+      return 1;
+    }
   }
 
   bool replaced = false;

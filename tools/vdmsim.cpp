@@ -8,10 +8,14 @@
 //   vdmsim --protocol hmtp --substrate geo-us --degree 4 --csv
 //   vdmsim --protocol vdm --metric loss --link-loss 0.02 --members 100
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <span>
 #include <string>
 
 #include "experiments/runner.hpp"
+#include "experiments/sweep.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +48,8 @@ int usage() {
       "  --retry-timeout initial retransmission timeout, s  (default 0.25)\n"
       "  --seeds      independent repetitions               (default 8)\n"
       "  --seed       base seed                             (default 1)\n"
+      "  --threads    worker cap for the seed sweep; 0 = hardware (default 0)\n"
+      "  --quiet      suppress the per-seed progress line on stderr\n"
       "  --csv        emit machine-readable CSV instead of a table\n"
       "  --help       this text\n";
   return 0;
@@ -135,7 +141,25 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
   const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 8));
-  const AggregateResult agg = run_many(cfg, seeds);
+
+  SweepOptions sweep;
+  sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const auto start = std::chrono::steady_clock::now();
+  if (!flags.get_bool("quiet", false)) {
+    sweep.progress = [start](std::size_t done, std::size_t total) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      const double eta = done > 0 ? elapsed * static_cast<double>(total - done) /
+                                        static_cast<double>(done)
+                                  : 0.0;
+      std::fprintf(stderr, "\r  seed %zu/%zu  elapsed %.1fs  eta %.1fs ", done,
+                   total, elapsed, eta);
+      if (done == total) std::fputc('\n', stderr);
+      std::fflush(stderr);
+    };
+  }
+  const AggregateResult agg =
+      run_grid(std::span<const RunConfig>(&cfg, 1), seeds, sweep).front();
 
   util::Table t({"metric", "mean", "ci90", "min", "max"});
   auto row = [&](const std::string& name, const util::Summary& s, int prec = 4) {
