@@ -107,10 +107,24 @@ void BM_RunOnceCrashChurn(benchmark::State& state) {
   cfg.session.faults.lossy_control = true;
   cfg.session.faults.control_loss_extra = 0.01;
   cfg.seed = 7;
+  experiments::RunScratch scratch;
+  benchmark::DoNotOptimize(experiments::run_once(cfg, scratch));  // warm
+
+  // Crash churn is the walk-heaviest configuration (every departure triggers
+  // orphan reconnection walks), so the alloc counters here gate the
+  // zero-allocation claim of the TreeWalk path: once the arena is warm, a
+  // full run must not grow the walk scratch.
+  const std::uint64_t grows_before = scratch.grow_events();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
-    experiments::RunResult r = experiments::run_once(cfg);
+    experiments::RunResult r = experiments::run_once(cfg, scratch);
     benchmark::DoNotOptimize(r);
   }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["arena_grow_per_iter"] =
+      static_cast<double>(scratch.grow_events() - grows_before) / iters;
+  state.counters["allocs_per_iter"] = static_cast<double>(allocs) / iters;
 }
 BENCHMARK(BM_RunOnceCrashChurn)->Arg(200)->Unit(benchmark::kMillisecond);
 

@@ -1,54 +1,54 @@
 #include "baselines/btp_protocol.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "overlay/session.hpp"
+#include "overlay/walk.hpp"
 #include "util/require.hpp"
 
 namespace vdm::baselines {
 
 using overlay::OpStats;
 using overlay::Session;
+using overlay::TreeWalk;
+using overlay::WalkDecision;
+
+namespace {
+
+/// BTP's step policy: connect straight to the contacted node; when it is
+/// saturated, walk down through its closest capacity-bearing child until a
+/// slot is found (the original protocol simply rejects, but a streaming
+/// session must place every viewer somewhere). Unlike VDM/HMTP, BTP never
+/// stops at a free child from a saturated node — the next iteration
+/// re-checks room at the node it descended to.
+struct BtpJoinPolicy {
+  void on_start(TreeWalk&, OpStats&) {}
+
+  TreeWalk::Action step(TreeWalk& w, OpStats& stats) {
+    if (w.can_accept(w.cur())) {
+      return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur());
+    }
+    VDM_REQUIRE_MSG(!w.kids().empty(),
+                    "walk entered a subtree without capacity");
+    // Probe every child (the message cost BTP pays) but only step into a
+    // subtree that still has an attachment point.
+    const std::span<const double> dist = w.probe_kids(stats);
+    return w.descend_closest_capacity(dist);
+  }
+};
+
+}  // namespace
 
 OpStats BtpProtocol::execute_join(Session& s, net::HostId n, net::HostId start) {
   OpStats stats;
   overlay::Membership& tree = s.tree();
-  net::HostId cur = start;
-  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
-    cur = s.source();
-  }
 
-  // BTP connects straight to the contacted node; when it is saturated,
-  // walk down through its closest capacity-bearing child until a slot is
-  // found (the original protocol simply rejects, but a streaming session
-  // must place every viewer somewhere).
-  for (;;) {
-    ++stats.iterations;
-    s.charge_exchange(n, cur, stats);
-    if (tree.member(cur).has_free_degree()) break;
-    std::vector<net::HostId> kids;
-    for (const net::HostId c : tree.member(cur).children) {
-      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
-    }
-    VDM_REQUIRE_MSG(!kids.empty(), "walk entered a subtree without capacity");
-    // Probe every child (the message cost BTP pays) but only step into a
-    // subtree that still has an attachment point.
-    const std::vector<double> dist = s.measure_parallel(n, kids, stats);
-    net::HostId best = net::kInvalidHost;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < kids.size(); ++i) {
-      if (dist[i] < best_d && tree.subtree_has_capacity(kids[i], n)) {
-        best_d = dist[i];
-        best = kids[i];
-      }
-    }
-    VDM_REQUIRE_MSG(best != net::kInvalidHost,
-                    "walk entered a subtree without capacity");
-    cur = best;
-  }
-  const double d = s.measure(n, cur, stats);
-  s.charge_exchange(n, cur, stats);  // connection handshake
-  tree.attach(n, cur, d);
+  TreeWalk walk(s, walk_observer());
+  const TreeWalk::Result found = walk.run(n, start, stats, BtpJoinPolicy{});
+  const double d = s.measure(n, found.parent, stats);
+  s.charge_exchange(n, found.parent, stats);  // connection handshake
+  tree.attach(n, found.parent, d);
   stats.parent_changed = true;
   return stats;
 }
@@ -62,15 +62,19 @@ OpStats BtpProtocol::execute_refine(Session& s, net::HostId n) {
 
   // Sibling switch (Figure 2.7): ask the parent for the sibling list,
   // probe them, and move under the closest sibling if it beats the current
-  // parent by the margin and still has capacity.
+  // parent by the margin and still has capacity. Runs on the walk scratch —
+  // refinement fires every period for every member, so it must not allocate.
   const net::HostId parent = m.parent;
   s.charge_exchange(n, parent, stats);
-  std::vector<net::HostId> siblings;
+  overlay::WalkScratch& scratch = s.walk_scratch();
+  std::vector<net::HostId>& siblings = scratch.kids;
+  siblings.clear();
   for (const net::HostId c : tree.member(parent).children) {
     if (c != n && s.eligible_parent(n, c)) siblings.push_back(c);
   }
   if (siblings.empty()) return stats;
-  const std::vector<double> dist = s.measure_parallel(n, siblings, stats);
+  const std::span<const double> dist =
+      s.measure_parallel(n, siblings, scratch.dist, stats);
 
   const double current = tree.stored_child_distance(parent, n);
   net::HostId best = net::kInvalidHost;

@@ -1,6 +1,6 @@
 #include "baselines/hmtp_protocol.hpp"
 
-#include <limits>
+#include <vector>
 
 #include "overlay/session.hpp"
 #include "util/require.hpp"
@@ -9,31 +9,32 @@ namespace vdm::baselines {
 
 using overlay::OpStats;
 using overlay::Session;
+using overlay::TreeWalk;
+using overlay::WalkDecision;
 
-HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
-                                                net::HostId start,
-                                                OpStats& stats) const {
-  overlay::Membership& tree = s.tree();
-  net::HostId cur = start;
-  // A start node whose subtree has no free slot (a saturated degree-1 leaf,
-  // say a crashed orphan's grandparent) would dead-end the walk — restart
-  // from the source, whose subtree is the whole tree.
-  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
-    cur = s.source();
+namespace {
+
+/// HMTP's step policy (§2.4.7/§3.5): greedily descend to the closest child
+/// while it beats the current node, with the U-turn attach rule; stop at
+/// the current node otherwise, falling back down the saturation ladder when
+/// it is full. Carries d(N, cur) across descents so each node is probed
+/// exactly once.
+struct HmtpSearchPolicy {
+  const HmtpConfig& config;
+  double d_cur = 0.0;
+
+  void on_start(TreeWalk& w, OpStats& stats) {
+    d_cur = w.session().measure(w.joiner(), w.cur(), stats);
   }
-  VDM_REQUIRE(s.eligible_parent(n, cur));
 
-  double d_cur = s.measure(n, cur, stats);
-  for (;;) {
-    ++stats.iterations;
-    // Fetch the children list from the current node, then probe them all.
-    s.charge_exchange(n, cur, stats);
-    std::vector<net::HostId> kids;
-    for (const net::HostId c : tree.member(cur).children) {
-      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
+  TreeWalk::Action step(TreeWalk& w, OpStats& stats) {
+    overlay::Membership& tree = w.session().tree();
+    const net::HostId n = w.joiner();
+    const std::span<const net::HostId> kids = w.kids();
+    if (kids.empty()) {
+      return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur(), d_cur);
     }
-    if (kids.empty()) return {cur, d_cur};
-    const std::vector<double> dist = s.measure_parallel(n, kids, stats);
+    const std::span<const double> dist = w.probe_kids(stats);
 
     std::size_t closest = 0;
     for (std::size_t i = 1; i < kids.size(); ++i) {
@@ -45,52 +46,43 @@ HmtpProtocol::SearchResult HmtpProtocol::search(Session& s, net::HostId n,
       // to the current node than the child is), descending would hang N
       // below C while the data doubles back — attach to the current node
       // and let refinement re-hang C later (§3.5 Scenario I/II).
-      if (config_.u_turn_rule &&
-          d_cur < tree.stored_child_distance(cur, kids[closest])) {
-        const bool room =
-            tree.member(cur).has_free_degree() || tree.member(n).parent == cur;
-        if (room) return {cur, d_cur};
+      if (config.u_turn_rule &&
+          d_cur < tree.stored_child_distance(w.cur(), kids[closest])) {
+        if (w.can_accept(w.cur())) {
+          return TreeWalk::Action::stop(WalkDecision::kUturnAttach, w.cur(),
+                                        d_cur);
+        }
         // Saturated: the paper's degree-limitation caveat — fall through to
         // the normal descent.
       }
-      cur = kids[closest];
       d_cur = dist[closest];
-      continue;
+      return TreeWalk::Action::descend(WalkDecision::kGreedyDescend,
+                                       kids[closest], d_cur);
     }
     // The current node is the closest member found: attach here if it has
     // room (a node re-choosing its own parent always "has room" there)...
-    const bool cur_has_room =
-        tree.member(cur).has_free_degree() || tree.member(n).parent == cur;
-    if (cur_has_room) return {cur, d_cur};
-
-    // ... otherwise flag the saturated node and fall back to its closest
-    // child that can still accept a connection (§2.4.7's "looks for next
-    // available child").
-    net::HostId best_free = net::kInvalidHost;
-    double best_free_d = std::numeric_limits<double>::infinity();
-    net::HostId best_any = net::kInvalidHost;
-    double best_any_d = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < kids.size(); ++i) {
-      const bool has_room =
-          tree.member(kids[i]).has_free_degree() || tree.member(n).parent == kids[i];
-      if (has_room && dist[i] < best_free_d) {
-        best_free_d = dist[i];
-        best_free = kids[i];
-      }
-      if (dist[i] < best_any_d && tree.subtree_has_capacity(kids[i], n)) {
-        best_any_d = dist[i];
-        best_any = kids[i];
-      }
+    if (w.can_accept(w.cur())) {
+      return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur(), d_cur);
     }
-    if (best_free != net::kInvalidHost) return {best_free, best_free_d};
-
-    // Every child saturated as well: keep descending through the closest
-    // subtree that still has an attachment point.
-    VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
-                    "search entered a subtree without capacity");
-    cur = best_any;
-    d_cur = best_any_d;
+    // ... otherwise the saturation ladder: the closest child that can still
+    // accept a connection (§2.4.7's "looks for next available child"), else
+    // keep descending through the closest capacity-bearing subtree.
+    const TreeWalk::Action fallback = w.saturated_fallback(dist);
+    if (fallback.kind == TreeWalk::Action::Kind::kDescend) {
+      d_cur = fallback.dist;
+    }
+    return fallback;
   }
+};
+
+}  // namespace
+
+TreeWalk::Result HmtpProtocol::search(Session& s, net::HostId n,
+                                      net::HostId start,
+                                      OpStats& stats) const {
+  TreeWalk walk(s, walk_observer());
+  HmtpSearchPolicy policy{config_};
+  return walk.run(n, start, stats, policy);
 }
 
 OpStats HmtpProtocol::execute_join(Session& session, net::HostId joiner,
@@ -112,7 +104,7 @@ OpStats HmtpProtocol::execute_join(Session& session, net::HostId joiner,
     stats.parent_changed = true;
 
     OpStats search_stats;
-    const SearchResult found = search(session, joiner, anchor, search_stats);
+    const TreeWalk::Result found = search(session, joiner, anchor, search_stats);
     stats.messages += search_stats.messages;
     stats.iterations += search_stats.iterations;
     if (found.parent != anchor) {
@@ -124,7 +116,7 @@ OpStats HmtpProtocol::execute_join(Session& session, net::HostId joiner,
     return stats;
   }
 
-  const SearchResult found = search(session, joiner, anchor, stats);
+  const TreeWalk::Result found = search(session, joiner, anchor, stats);
   session.charge_exchange(joiner, found.parent, stats);  // connection handshake
   tree.attach(joiner, found.parent, found.dist);
   stats.parent_changed = true;
@@ -146,7 +138,7 @@ OpStats HmtpProtocol::execute_refine(Session& session, net::HostId node) {
   const net::HostId start = path[static_cast<std::size_t>(
       session.rng().uniform_int(0, static_cast<std::int64_t>(path.size()) - 1))];
 
-  const SearchResult found = search(session, node, start, stats);
+  const TreeWalk::Result found = search(session, node, start, stats);
   if (found.parent == m.parent) return stats;
   const double current = tree.stored_child_distance(m.parent, node);
   if (found.dist >= current * (1.0 - config_.switch_margin)) return stats;

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <vector>
-
 #include "overlay/protocol.hpp"
+#include "overlay/walk.hpp"
 #include "sim/time.hpp"
 
 namespace vdm::baselines {
@@ -59,12 +58,11 @@ class HmtpProtocol final : public overlay::Protocol {
   const HmtpConfig& config() const { return config_; }
 
  private:
-  struct SearchResult {
-    net::HostId parent = net::kInvalidHost;
-    double dist = 0.0;
-  };
-  SearchResult search(overlay::Session& session, net::HostId joiner,
-                      net::HostId start, overlay::OpStats& stats) const;
+  /// The greedy walk as a TreeWalk policy run; Result.dist is the measured
+  /// joiner->parent distance (HMTP always probes its stopping node).
+  overlay::TreeWalk::Result search(overlay::Session& session,
+                                   net::HostId joiner, net::HostId start,
+                                   overlay::OpStats& stats) const;
 
   HmtpConfig config_;
 };

@@ -1,43 +1,57 @@
 #include "baselines/random_protocol.hpp"
 
 #include "overlay/session.hpp"
+#include "overlay/walk.hpp"
 #include "util/require.hpp"
 
 namespace vdm::baselines {
 
-overlay::OpStats RandomProtocol::execute_join(overlay::Session& s,
-                                              net::HostId n, net::HostId start) {
-  overlay::OpStats stats;
-  overlay::Membership& tree = s.tree();
-  net::HostId cur = start;
-  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
-    cur = s.source();
-  }
+using overlay::OpStats;
+using overlay::Session;
+using overlay::TreeWalk;
+using overlay::WalkDecision;
 
-  // Random walk: at each node, either stop here (if it has room) with
-  // probability 1/2, or step to a random child whose subtree still has
-  // capacity. Terminates because the walk never leaves a capacity-bearing
-  // subtree.
-  for (;;) {
-    ++stats.iterations;
-    s.charge_exchange(n, cur, stats);
-    std::vector<net::HostId> steppable;
-    for (const net::HostId c : tree.member(cur).children) {
-      if (c != n && s.eligible_parent(n, c) && tree.subtree_has_capacity(c, n)) {
-        steppable.push_back(c);
+namespace {
+
+/// Random walk: at each node, either stop here (if it has room) with
+/// probability 1/2, or step to a random child whose subtree still has
+/// capacity. Terminates because the walk never leaves a capacity-bearing
+/// subtree.
+struct RandomJoinPolicy {
+  void on_start(TreeWalk&, OpStats&) {}
+
+  TreeWalk::Action step(TreeWalk& w, OpStats&) {
+    w.filter_kids_subtree_capacity();
+    const std::span<const net::HostId> steppable = w.kids();
+    util::Rng& rng = w.session().rng();
+    const bool has_room = w.can_accept(w.cur());
+    // Draw order matters: an empty steppable set or a full node must skip
+    // the coin flip entirely (short-circuit), as the original loop did.
+    if (steppable.empty() || (has_room && rng.chance(0.5))) {
+      if (has_room) {
+        return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur());
       }
+      VDM_REQUIRE_MSG(!steppable.empty(),
+                      "walk entered a subtree without capacity");
     }
-    const bool has_room = tree.member(cur).has_free_degree();
-    if (steppable.empty() || (has_room && s.rng().chance(0.5))) {
-      if (has_room) break;
-      VDM_REQUIRE_MSG(!steppable.empty(), "walk entered a subtree without capacity");
-    }
-    cur = steppable[static_cast<std::size_t>(
-        s.rng().uniform_int(0, static_cast<std::int64_t>(steppable.size()) - 1))];
+    const net::HostId next = steppable[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(steppable.size()) - 1))];
+    return TreeWalk::Action::descend(WalkDecision::kRandomStep, next);
   }
-  const double dist = s.measure(n, cur, stats);
-  s.charge_exchange(n, cur, stats);
-  tree.attach(n, cur, dist);
+};
+
+}  // namespace
+
+OpStats RandomProtocol::execute_join(Session& s, net::HostId n,
+                                     net::HostId start) {
+  OpStats stats;
+  overlay::Membership& tree = s.tree();
+
+  TreeWalk walk(s, walk_observer());
+  const TreeWalk::Result found = walk.run(n, start, stats, RandomJoinPolicy{});
+  const double dist = s.measure(n, found.parent, stats);
+  s.charge_exchange(n, found.parent, stats);
+  tree.attach(n, found.parent, dist);
   stats.parent_changed = true;
   return stats;
 }

@@ -5,62 +5,50 @@
 
 #include "core/directionality.hpp"
 #include "overlay/session.hpp"
-#include "util/require.hpp"
+#include "overlay/walk.hpp"
 
 namespace vdm::core {
 
 using overlay::OpStats;
 using overlay::Session;
+using overlay::TreeWalk;
+using overlay::WalkAdoption;
+using overlay::WalkDecision;
 
-VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
-                                             net::HostId start,
-                                             OpStats& stats) const {
-  overlay::Membership& tree = s.tree();
-  const overlay::MemberState& nm = tree.member(n);
-  // Slots the joiner can offer adopted children: its limit minus existing
-  // children minus the parent link the attach itself will occupy (a joiner
-  // is never the source, so it always ends up with an uplink).
-  const int free_slots =
-      nm.degree_limit - static_cast<int>(nm.children.size()) - 1;
+namespace {
 
-  net::HostId cur = start;
-  // Restart from the source when the contacted node is ineligible or its
-  // subtree has no attachment point left (e.g. a saturated degree-1 leaf
-  // offered as a reconnection grandparent).
-  if (!s.eligible_parent(n, cur) || !tree.subtree_has_capacity(cur, n)) {
-    cur = s.source();
-  }
-  VDM_REQUIRE(s.eligible_parent(n, cur));
+/// VDM's step policy (§3.2/§3.3): probe the node and its children, classify
+/// every (node, child, newcomer) triple with the directionality rule, then
+/// Case III descend > Case II splice > Case I attach > saturated fallback.
+struct VdmJoinPolicy {
+  const VdmConfig& config;
+  VdmProtocol::CaseStats& cases;
+  /// Slots the joiner can offer adopted children (fixed at walk start).
+  int free_slots = 0;
+  /// Case II outcome: the decided adoptions, viewing walk scratch.
+  std::span<const WalkAdoption> adoptions;
 
-  for (;;) {
-    ++stats.iterations;
-    // Information request/response with the current node: children list and
-    // the node's stored distances to them (§3.2 control messages).
-    s.charge_exchange(n, cur, stats);
+  void on_start(TreeWalk&, OpStats&) {}
 
-    std::vector<net::HostId> kids;
-    for (const net::HostId c : tree.member(cur).children) {
-      if (c != n && s.eligible_parent(n, c)) kids.push_back(c);
-    }
-
+  TreeWalk::Action step(TreeWalk& w, OpStats& stats) {
+    overlay::Membership& tree = w.session().tree();
+    const net::HostId n = w.joiner();
     // "N pings S and all children of S" — concurrent probes.
-    std::vector<net::HostId> targets;
-    targets.reserve(kids.size() + 1);
-    targets.push_back(cur);
-    targets.insert(targets.end(), kids.begin(), kids.end());
-    const std::vector<double> dist = s.measure_parallel(n, targets, stats);
-    const double d_ncur = dist[0];
+    const double d_ncur = w.probe_cur_and_kids(stats);
+    const std::span<const net::HostId> kids = w.kids();
+    const std::span<const double> dist = w.kid_dists();
 
     // Classify every (cur, child, newcomer) triple.
     net::HostId best3 = net::kInvalidHost;
     double best3_dist = std::numeric_limits<double>::infinity();
-    std::vector<JoinPlan::Adoption> case2;
+    std::vector<WalkAdoption>& case2 = w.adoptions_scratch();
+    case2.clear();
     for (std::size_t i = 0; i < kids.size(); ++i) {
-      const double d_nc = dist[i + 1];
-      const double d_pc = tree.stored_child_distance(cur, kids[i]);
-      DirCase dir = classify_direction(d_ncur, d_nc, d_pc, config_.epsilon_rel);
-      if (dir == DirCase::kCaseII && config_.case2_descend_ratio > 1.0 &&
-          d_ncur > config_.case2_descend_ratio * d_nc) {
+      const double d_nc = dist[i];
+      const double d_pc = tree.stored_child_distance(w.cur(), kids[i]);
+      DirCase dir = classify_direction(d_ncur, d_nc, d_pc, config.epsilon_rel);
+      if (dir == DirCase::kCaseII && config.case2_descend_ratio > 1.0 &&
+          d_ncur > config.case2_descend_ratio * d_nc) {
         // Degenerate Case II: the newcomer is essentially at the child, not
         // between the endpoints — follow the child's direction instead.
         dir = DirCase::kCaseIII;
@@ -85,9 +73,9 @@ VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
     // Case III dominates Case II: continue the search from the closest
     // directional child (§3.2, Scenario III).
     if (best3 != net::kInvalidHost) {
-      ++case_stats_.case3_descents;
-      cur = best3;
-      continue;
+      ++cases.case3_descents;
+      return TreeWalk::Action::descend(WalkDecision::kDirectionalDescend, best3,
+                                       best3_dist);
     }
 
     // Case II: splice in, adopting the closest Case II children the
@@ -100,56 +88,48 @@ VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
       if (case2.size() > static_cast<std::size_t>(free_slots)) {
         case2.resize(static_cast<std::size_t>(free_slots));
       }
-      ++case_stats_.case2_splice;
-      case_stats_.case2_adoptions += case2.size();
-      JoinPlan plan;
-      plan.parent = cur;
-      plan.parent_dist = d_ncur;
-      plan.adoptions = std::move(case2);
-      return plan;
+      ++cases.case2_splice;
+      cases.case2_adoptions += case2.size();
+      adoptions = std::span<const WalkAdoption>(case2);
+      return TreeWalk::Action::stop(WalkDecision::kSplice, w.cur(), d_ncur);
     }
 
-    // Case I everywhere: attach to the current node if it can take us.
-    // During refinement the node's current parent counts as having room —
-    // re-choosing it must not look like a full parent.
-    const bool cur_has_room =
-        tree.member(cur).has_free_degree() || tree.member(n).parent == cur;
-    if (cur_has_room) {
-      ++case_stats_.case1_attach;
-      return JoinPlan{cur, d_ncur, {}};
+    // Case I everywhere: attach to the current node if it can take us
+    // (during refinement the node's current parent counts as having room).
+    if (w.can_accept(w.cur())) {
+      ++cases.case1_attach;
+      return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur(), d_ncur);
     }
 
     // Otherwise the closest child with a free slot (§3.2: "it connects to
-    // the closest free child")...
-    net::HostId best_free = net::kInvalidHost, best_any = net::kInvalidHost;
-    double best_free_d = std::numeric_limits<double>::infinity();
-    double best_any_d = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < kids.size(); ++i) {
-      const double d_nc = dist[i + 1];
-      const bool has_room =
-          tree.member(kids[i]).has_free_degree() || tree.member(n).parent == kids[i];
-      if (has_room && d_nc < best_free_d) {
-        best_free_d = d_nc;
-        best_free = kids[i];
-      }
-      if (d_nc < best_any_d && tree.subtree_has_capacity(kids[i], n)) {
-        best_any_d = d_nc;
-        best_any = kids[i];
-      }
+    // the closest free child"), and if every child is saturated too, keep
+    // descending through the closest subtree that still has capacity.
+    const TreeWalk::Action fallback = w.saturated_fallback(dist);
+    if (fallback.kind == TreeWalk::Action::Kind::kStop) {
+      ++cases.full_fallback_child;
+    } else {
+      ++cases.full_fallback_descend;
     }
-    if (best_free != net::kInvalidHost) {
-      ++case_stats_.full_fallback_child;
-      return JoinPlan{best_free, best_free_d, {}};
-    }
-
-    // ... and if every child is saturated too, keep descending through the
-    // closest subtree that still has capacity (the search never enters a
-    // capacity-free subtree, so one must exist here).
-    VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
-                    "join search entered a subtree without capacity");
-    ++case_stats_.full_fallback_descend;
-    cur = best_any;
+    return fallback;
   }
+};
+
+}  // namespace
+
+VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
+                                             net::HostId start,
+                                             OpStats& stats) const {
+  const overlay::MemberState& nm = s.tree().member(n);
+  // Slots the joiner can offer adopted children: its limit minus existing
+  // children minus the parent link the attach itself will occupy (a joiner
+  // is never the source, so it always ends up with an uplink).
+  const int free_slots =
+      nm.degree_limit - static_cast<int>(nm.children.size()) - 1;
+
+  TreeWalk walk(s, walk_observer());
+  VdmJoinPolicy policy{config_, case_stats_, free_slots, {}};
+  const TreeWalk::Result found = walk.run(n, start, stats, policy);
+  return JoinPlan{found.parent, found.dist, policy.adoptions};
 }
 
 void VdmProtocol::apply_plan(Session& s, net::HostId n, const JoinPlan& plan,
@@ -162,11 +142,11 @@ void VdmProtocol::apply_plan(Session& s, net::HostId n, const JoinPlan& plan,
   // Case II: free the adopted children's slots first so the joiner can take
   // one of them even at a saturated parent ("If CaseII, this is not an
   // obligation" — §5.2.2 connection_request).
-  for (const JoinPlan::Adoption& a : plan.adoptions) {
+  for (const WalkAdoption& a : plan.adoptions) {
     tree.detach(a.child);
   }
   tree.attach(n, plan.parent, plan.parent_dist);
-  for (const JoinPlan::Adoption& a : plan.adoptions) {
+  for (const WalkAdoption& a : plan.adoptions) {
     tree.attach(a.child, n, a.dist);
     // parent_change to the adopted child, grand_parent_change to each of
     // its children (§5.2.2 control messages).

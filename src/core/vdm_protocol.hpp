@@ -1,8 +1,9 @@
 #pragma once
 
-#include <vector>
+#include <span>
 
 #include "overlay/protocol.hpp"
+#include "overlay/walk.hpp"
 #include "sim/time.hpp"
 
 namespace vdm::core {
@@ -77,15 +78,13 @@ class VdmProtocol final : public overlay::Protocol {
  private:
   /// A fully decided attachment: where the joiner connects and which
   /// children it adopts (Case II). Computed without mutating the tree so
-  /// the same search serves join and refinement.
+  /// the same search serves join and refinement. The adoption span views
+  /// the session's walk scratch — valid until the next walk, which is long
+  /// enough for apply_plan (plans never outlive their operation).
   struct JoinPlan {
     net::HostId parent = net::kInvalidHost;
     double parent_dist = 0.0;
-    struct Adoption {
-      net::HostId child;
-      double dist;  // measured joiner->child virtual distance
-    };
-    std::vector<Adoption> adoptions;
+    std::span<const overlay::WalkAdoption> adoptions;
   };
 
   JoinPlan plan_join(overlay::Session& session, net::HostId joiner,

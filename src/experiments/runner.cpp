@@ -11,6 +11,7 @@
 #include "baselines/mst_overlay.hpp"
 #include "baselines/random_protocol.hpp"
 #include "core/vdm_protocol.hpp"
+#include "overlay/walk.hpp"
 #include "sim/simulator.hpp"
 #include "topology/geo.hpp"
 #include "topology/transit_stub.hpp"
@@ -58,31 +59,38 @@ topo::GeoParams geo_params(const RunConfig& cfg, std::size_t pool) {
 }
 
 std::unique_ptr<overlay::Protocol> build_protocol(const RunConfig& cfg) {
+  std::unique_ptr<overlay::Protocol> protocol;
   core::VdmConfig vc;
   vc.epsilon_rel = cfg.vdm_epsilon;
   vc.case2_descend_ratio = cfg.vdm_case2_descend_ratio;
   vc.refinement_period = cfg.vdm_refine_period;
   switch (cfg.protocol) {
     case Proto::kVdm:
-      return std::make_unique<core::VdmProtocol>(vc);
+      protocol = std::make_unique<core::VdmProtocol>(vc);
+      break;
     case Proto::kVdmRefine:
       vc.refinement = true;
-      return std::make_unique<core::VdmProtocol>(vc);
+      protocol = std::make_unique<core::VdmProtocol>(vc);
+      break;
     case Proto::kHmtp: {
       baselines::HmtpConfig hc;
       hc.refinement = cfg.hmtp_refinement;
       hc.refinement_period = cfg.hmtp_refine_period;
       hc.u_turn_rule = cfg.hmtp_u_turn_rule;
       hc.foster_child = cfg.hmtp_foster_child;
-      return std::make_unique<baselines::HmtpProtocol>(hc);
+      protocol = std::make_unique<baselines::HmtpProtocol>(hc);
+      break;
     }
     case Proto::kBtp:
-      return std::make_unique<baselines::BtpProtocol>();
+      protocol = std::make_unique<baselines::BtpProtocol>();
+      break;
     case Proto::kRandom:
-      return std::make_unique<baselines::RandomProtocol>();
+      protocol = std::make_unique<baselines::RandomProtocol>();
+      break;
   }
-  VDM_REQUIRE_MSG(false, "unknown protocol");
-  return nullptr;
+  VDM_REQUIRE_MSG(protocol != nullptr, "unknown protocol");
+  protocol->set_walk_observer(cfg.walk_observer);
+  return protocol;
 }
 
 std::unique_ptr<overlay::MetricProvider> build_metric(const RunConfig& cfg,
@@ -139,11 +147,16 @@ struct RunScratch::Impl {
 
   metrics::CollectorScratch collector;
 
+  /// Warm tree-walk buffers, swapped into each run's Session for its
+  /// lifetime (overlay/walk.hpp); null until the first run.
+  std::unique_ptr<overlay::WalkScratch> walk;
+
   std::uint64_t grow_events = 0;
   std::size_t high_water = 0;
 
   std::size_t capacity_bytes() const {
     std::size_t bytes = collector.capacity_bytes();
+    if (walk) bytes += walk->capacity_bytes();
     if (graph_underlay) bytes += graph_underlay->arena_capacity_bytes();
     if (matrix_underlay) bytes += matrix_underlay->arena_capacity_bytes();
     bytes += ts.graph.capacity_bytes() + wax.graph.capacity_bytes();
@@ -255,9 +268,13 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   overlay::SessionParams sp = config.session;
   sp.source = 0;
   overlay::Session session(simulator, *underlay, *protocol, *metric, sp, session_rng);
+  session.swap_walk_scratch(scratch.impl_->walk);
   metrics::Collector collector(session, scratch.impl_->collector);
   overlay::ScenarioDriver driver(session, config.scenario, scenario_rng);
   driver.run([&](sim::Time at) { collector.capture(at); });
+  // Return the (now warm) walk buffers to the arena before the end-of-run
+  // capacity accounting below.
+  session.swap_walk_scratch(scratch.impl_->walk);
 
   const std::size_t skip =
       std::min(config.epoch_skip, collector.samples().empty()

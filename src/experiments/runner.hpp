@@ -61,6 +61,11 @@ struct RunConfig {
   /// Retain the full epoch series in the result (Chapter-4 time plots).
   bool keep_epochs = false;
 
+  /// Tracing hook: installed on the protocol so every tree walk (join,
+  /// reconnect, refine) reports per-iteration steps (vdmsim --trace-joins).
+  /// Not owned; must outlive the run. Leave null for normal runs.
+  overlay::WalkObserver* walk_observer = nullptr;
+
   std::uint64_t seed = 1;
 };
 

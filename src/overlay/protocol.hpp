@@ -8,6 +8,7 @@
 namespace vdm::overlay {
 
 class Session;
+class WalkObserver;
 
 /// Cost/latency ledger of one protocol operation (join, reconnect, refine).
 /// Protocols accumulate into it through Session's measurement/messaging
@@ -56,6 +57,18 @@ class Protocol {
   /// often they fire.
   virtual bool wants_refinement() const { return false; }
   virtual sim::Time refinement_period() const { return sim::minutes(3); }
+
+  /// Installs (or clears, with nullptr) a tracing observer that every
+  /// TreeWalk this protocol runs reports its per-iteration steps to. The
+  /// observer must outlive the protocol's use of it.
+  void set_walk_observer(WalkObserver* observer) { walk_observer_ = observer; }
+
+ protected:
+  /// Passed to TreeWalk by the protocol's walk call sites; null when unset.
+  WalkObserver* walk_observer() const { return walk_observer_; }
+
+ private:
+  WalkObserver* walk_observer_ = nullptr;
 };
 
 }  // namespace vdm::overlay

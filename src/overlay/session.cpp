@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "overlay/walk.hpp"
 #include "util/require.hpp"
 
 namespace vdm::overlay {
@@ -13,9 +14,15 @@ Session::Session(sim::Simulator& simulator, const net::Underlay& underlay,
                  Protocol& protocol, const MetricProvider& metric,
                  const SessionParams& params, util::Rng rng)
     : sim_(simulator), underlay_(underlay), protocol_(protocol), metric_(metric),
-      params_(params), rng_(rng), tree_(underlay.num_hosts()) {
+      params_(params), rng_(rng), tree_(underlay.num_hosts()),
+      walk_scratch_(std::make_unique<WalkScratch>()) {
   VDM_REQUIRE(params_.source < underlay.num_hosts());
   VDM_REQUIRE(params_.chunk_rate > 0.0);
+}
+
+void Session::swap_walk_scratch(std::unique_ptr<WalkScratch>& other) {
+  if (!other) other = std::make_unique<WalkScratch>();
+  std::swap(walk_scratch_, other);
 }
 
 Session::~Session() { stop(); }
@@ -184,10 +191,10 @@ double Session::measure(net::HostId from, net::HostId to, OpStats& stats) {
   return v;
 }
 
-std::vector<double> Session::measure_parallel(net::HostId from,
-                                              std::span<const net::HostId> targets,
-                                              OpStats& stats) {
-  std::vector<double> out;
+std::span<const double> Session::measure_parallel(
+    net::HostId from, std::span<const net::HostId> targets,
+    std::vector<double>& out, OpStats& stats) {
+  out.clear();
   out.reserve(targets.size());
   sim::Time slowest = 0.0;
   for (const net::HostId t : targets) {
@@ -197,6 +204,14 @@ std::vector<double> Session::measure_parallel(net::HostId from,
                        lossy_elapsed(from, t, cost.messages, cost.elapsed, stats));
   }
   stats.elapsed += slowest;
+  return out;
+}
+
+std::vector<double> Session::measure_parallel(net::HostId from,
+                                              std::span<const net::HostId> targets,
+                                              OpStats& stats) {
+  std::vector<double> out;
+  measure_parallel(from, targets, out, stats);
   return out;
 }
 

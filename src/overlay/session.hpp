@@ -14,6 +14,8 @@
 
 namespace vdm::overlay {
 
+struct WalkScratch;
+
 /// Failure-model knobs (crash detection and lossy control plane). All draws
 /// they introduce flow through the session Rng, and every knob at its
 /// default reproduces the fault-free run bit for bit: heartbeat_period == 0
@@ -127,6 +129,15 @@ class Session {
 
   /// Measures `from` -> each target concurrently (the paper's "N pings S
   /// and all children"): message costs add, wall-clock is the slowest probe.
+  /// Span-out form: results land in `out` (cleared first) and the returned
+  /// span views it — the hot walk path passes scratch here and never
+  /// allocates in steady state.
+  std::span<const double> measure_parallel(net::HostId from,
+                                           std::span<const net::HostId> targets,
+                                           std::vector<double>& out,
+                                           OpStats& stats);
+
+  /// Allocating convenience wrapper over the span-out form.
   std::vector<double> measure_parallel(net::HostId from,
                                        std::span<const net::HostId> targets,
                                        OpStats& stats);
@@ -152,6 +163,15 @@ class Session {
   util::Rng& rng() { return rng_; }
   sim::Simulator& simulator() { return sim_; }
   Protocol& protocol() { return protocol_; }
+
+  /// The tree-walk engine's reusable buffers (one set per session — walks
+  /// never nest; see overlay/walk.hpp).
+  WalkScratch& walk_scratch() { return *walk_scratch_; }
+
+  /// Arena shuttle: swap a warm walk scratch in from a RunScratch (and back
+  /// out after the run) so repeated experiments reuse grown buffers. A null
+  /// `other` is populated with a fresh scratch first.
+  void swap_walk_scratch(std::unique_ptr<WalkScratch>& other);
 
   // --- counters for the metrics layer ------------------------------------
   struct Counters {
@@ -221,6 +241,7 @@ class Session {
   SessionParams params_;
   util::Rng rng_;
   Membership tree_;
+  std::unique_ptr<WalkScratch> walk_scratch_;
 
   std::unique_ptr<sim::Periodic> stream_timer_;
   std::unordered_map<net::HostId, std::unique_ptr<sim::Periodic>> refine_timers_;

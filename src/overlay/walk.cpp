@@ -1,0 +1,135 @@
+#include "overlay/walk.hpp"
+
+#include <limits>
+
+#include "overlay/session.hpp"
+#include "util/require.hpp"
+
+namespace vdm::overlay {
+
+std::string_view walk_decision_name(WalkDecision decision) {
+  switch (decision) {
+    case WalkDecision::kAttach: return "attach";
+    case WalkDecision::kSplice: return "splice";
+    case WalkDecision::kDirectionalDescend: return "case3-descend";
+    case WalkDecision::kGreedyDescend: return "greedy-descend";
+    case WalkDecision::kUturnAttach: return "uturn-attach";
+    case WalkDecision::kClosestFreeChild: return "closest-free-child";
+    case WalkDecision::kCapacityDescend: return "capacity-descend";
+    case WalkDecision::kRandomStep: return "random-step";
+  }
+  return "?";
+}
+
+TreeWalk::TreeWalk(Session& session, WalkObserver* observer)
+    : session_(session),
+      scratch_(session.walk_scratch()),
+      observer_(observer) {}
+
+void TreeWalk::begin(net::HostId joiner, net::HostId start) {
+  joiner_ = joiner;
+  cur_ = start;
+  step_index_ = 0;
+  Membership& tree = session_.tree();
+  if (!session_.eligible_parent(joiner_, cur_) ||
+      !tree.subtree_has_capacity(cur_, joiner_)) {
+    cur_ = session_.source();
+  }
+  VDM_REQUIRE(session_.eligible_parent(joiner_, cur_));
+}
+
+void TreeWalk::next_step(OpStats& stats) {
+  ++stats.iterations;
+  ++step_index_;
+  step_probes_ = 0;
+  // Information request/response with the current node: children list and
+  // the node's stored distances to them (§3.2 control messages).
+  session_.charge_exchange(joiner_, cur_, stats);
+  scratch_.kids.clear();
+  for (const net::HostId c : session_.tree().member(cur_).children) {
+    if (c != joiner_ && session_.eligible_parent(joiner_, c)) {
+      scratch_.kids.push_back(c);
+    }
+  }
+}
+
+void TreeWalk::report(const Action& action) {
+  if (observer_ == nullptr) return;
+  observer_->on_step(WalkStep{joiner_, cur_, step_index_, step_probes_,
+                              action.decision, action.node});
+}
+
+std::span<const double> TreeWalk::kid_dists() const {
+  return std::span<const double>(scratch_.dist)
+      .subspan(kid_dist_offset_, scratch_.kids.size());
+}
+
+double TreeWalk::probe_cur_and_kids(OpStats& stats) {
+  scratch_.targets.clear();
+  scratch_.targets.reserve(scratch_.kids.size() + 1);
+  scratch_.targets.push_back(cur_);
+  scratch_.targets.insert(scratch_.targets.end(), scratch_.kids.begin(),
+                          scratch_.kids.end());
+  session_.measure_parallel(joiner_, scratch_.targets, scratch_.dist, stats);
+  kid_dist_offset_ = 1;
+  step_probes_ += static_cast<int>(scratch_.targets.size());
+  return scratch_.dist[0];
+}
+
+std::span<const double> TreeWalk::probe_kids(OpStats& stats) {
+  session_.measure_parallel(joiner_, scratch_.kids, scratch_.dist, stats);
+  kid_dist_offset_ = 0;
+  step_probes_ += static_cast<int>(scratch_.kids.size());
+  return scratch_.dist;
+}
+
+bool TreeWalk::can_accept(net::HostId candidate) const {
+  const Membership& tree = session_.tree();
+  return tree.member(candidate).has_free_degree() ||
+         tree.member(joiner_).parent == candidate;
+}
+
+void TreeWalk::filter_kids_subtree_capacity() {
+  const Membership& tree = session_.tree();
+  std::vector<net::HostId>& kids = scratch_.kids;
+  std::size_t w = 0;
+  for (const net::HostId c : kids) {
+    if (tree.subtree_has_capacity(c, joiner_)) kids[w++] = c;
+  }
+  kids.resize(w);
+}
+
+TreeWalk::Action TreeWalk::saturated_fallback(std::span<const double> kid_dist) {
+  const std::span<const net::HostId> kids{scratch_.kids};
+  net::HostId best_free = net::kInvalidHost;
+  double best_free_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (can_accept(kids[i]) && kid_dist[i] < best_free_d) {
+      best_free_d = kid_dist[i];
+      best_free = kids[i];
+    }
+  }
+  if (best_free != net::kInvalidHost) {
+    return Action::stop(WalkDecision::kClosestFreeChild, best_free, best_free_d);
+  }
+  return descend_closest_capacity(kid_dist);
+}
+
+TreeWalk::Action TreeWalk::descend_closest_capacity(
+    std::span<const double> kid_dist) {
+  const Membership& tree = session_.tree();
+  const std::span<const net::HostId> kids{scratch_.kids};
+  net::HostId best_any = net::kInvalidHost;
+  double best_any_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (kid_dist[i] < best_any_d && tree.subtree_has_capacity(kids[i], joiner_)) {
+      best_any_d = kid_dist[i];
+      best_any = kids[i];
+    }
+  }
+  VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
+                  "walk entered a subtree without capacity");
+  return Action::descend(WalkDecision::kCapacityDescend, best_any, best_any_d);
+}
+
+}  // namespace vdm::overlay

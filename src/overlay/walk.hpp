@@ -1,0 +1,230 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/types.hpp"
+#include "overlay/protocol.hpp"
+
+namespace vdm::overlay {
+
+class Session;
+
+/// One Case-II adoption decided during a walk: the joiner takes `child`'s
+/// slot under the current node and re-parents `child` (measured
+/// joiner->child virtual distance rides along). Lives in WalkScratch so a
+/// join plan never allocates.
+struct WalkAdoption {
+  net::HostId child;
+  double dist;
+};
+
+/// Reusable buffers of the tree-walk engine. One instance lives on each
+/// Session (all walks of a run share it — walks never nest), and the
+/// experiment runner shuttles it through the per-worker RunScratch arenas so
+/// steady-state sweeps re-run entire experiments without the walk path
+/// allocating at all.
+struct WalkScratch {
+  /// Eligibility-filtered children of the current node.
+  std::vector<net::HostId> kids;
+  /// Probe target list when the current node is probed alongside its kids.
+  std::vector<net::HostId> targets;
+  /// measure_parallel output (span-out overload writes here).
+  std::vector<double> dist;
+  /// Case-II adoption candidates / decided adoptions (VDM).
+  std::vector<WalkAdoption> adoptions;
+
+  /// Heap bytes currently reserved — folded into RunScratch::capacity_bytes
+  /// so the arena grow gate (arena_grow_per_iter == 0) covers the walk path.
+  std::size_t capacity_bytes() const {
+    return (kids.capacity() + targets.capacity()) * sizeof(net::HostId) +
+           dist.capacity() * sizeof(double) +
+           adoptions.capacity() * sizeof(WalkAdoption);
+  }
+};
+
+/// How one walk iteration resolved — the tracing vocabulary shared by all
+/// protocols (each uses the subset its step policy can produce).
+enum class WalkDecision {
+  kAttach,             ///< stop: attach to the current node
+  kSplice,             ///< stop: VDM Case II — take a child slot, adopt kids
+  kDirectionalDescend, ///< VDM Case III: continue towards the closest
+                       ///< directional child
+  kGreedyDescend,      ///< HMTP: a child is closer than the current node
+  kUturnAttach,        ///< stop: HMTP U-turn rule kept us at the current node
+  kClosestFreeChild,   ///< stop: saturated fallback to closest child with room
+  kCapacityDescend,    ///< saturated fallback: descend into the closest
+                       ///< subtree that still has an attachment point
+  kRandomStep,         ///< Random: uniform step to a capacity-bearing child
+};
+
+std::string_view walk_decision_name(WalkDecision decision);
+
+/// One iteration of a walk as reported to a WalkObserver.
+struct WalkStep {
+  net::HostId joiner = net::kInvalidHost;
+  net::HostId node = net::kInvalidHost;  ///< node queried this iteration
+  int step = 0;                          ///< 1-based walk-local iteration
+  int probes = 0;                        ///< distance measurements issued
+  WalkDecision decision = WalkDecision::kAttach;
+  net::HostId next = net::kInvalidHost;  ///< descend target / chosen parent
+};
+
+/// Tracing seam of the walk engine: installed per protocol
+/// (Protocol::set_walk_observer), invoked once per walk iteration. Unset
+/// (the default) costs one predictable null-check per iteration — the
+/// engine does no formatting or allocation on behalf of an absent observer.
+class WalkObserver {
+ public:
+  virtual ~WalkObserver() = default;
+  virtual void on_step(const WalkStep& step) = 0;
+};
+
+/// The shared iterative-descent engine under all four protocols (VDM §3.3,
+/// HMTP §2.4.7/§3.5, BTP's saturation walk, the Random baseline).
+///
+/// The engine owns everything the paper's join searches have in common:
+/// start normalization (ineligible or capacity-free starts restart from the
+/// source), the per-hop info exchange and eligibility-filtered child
+/// enumeration, batched probing through Session::measure_parallel into
+/// reusable scratch, the shared has-room predicate (a node re-choosing its
+/// own parent always has room there), and the saturated-node fallback
+/// ladder (closest free child, else descend through the closest
+/// capacity-bearing subtree). The protocol supplies only a step policy:
+///
+///   struct Policy {
+///     void on_start(TreeWalk&, OpStats&);          // before iteration 1
+///     TreeWalk::Action step(TreeWalk&, OpStats&);  // decide one iteration
+///   };
+///
+/// step() reads the engine's context (cur(), kids(), probe helpers) and
+/// returns a stop or descend Action; the engine loops until a stop.
+///
+/// Determinism contract: the engine preserves the pre-refactor protocols'
+/// exact measurement order, rng draw order and OpStats message/iteration
+/// counts — run_once scalars are bit-identical to the hand-rolled loops it
+/// replaced (pinned by the hexfloat goldens in tests/test_walk.cpp).
+class TreeWalk {
+ public:
+  /// Binds the engine to the session's walk scratch. `observer` may be
+  /// null (no tracing); it must outlive the walk.
+  explicit TreeWalk(Session& session, WalkObserver* observer = nullptr);
+
+  /// Where the walk stopped. `dist` is the measured joiner->parent virtual
+  /// distance when the stopping policy had probed it (`has_dist`); BTP and
+  /// Random stop without probing and measure afterwards.
+  struct Result {
+    net::HostId parent = net::kInvalidHost;
+    double dist = 0.0;
+    bool has_dist = false;
+  };
+
+  /// A policy's verdict for one iteration.
+  struct Action {
+    enum class Kind { kDescend, kStop };
+    Kind kind = Kind::kStop;
+    WalkDecision decision = WalkDecision::kAttach;
+    net::HostId node = net::kInvalidHost;
+    double dist = 0.0;
+    bool has_dist = false;
+
+    static Action descend(WalkDecision decision, net::HostId node) {
+      return {Kind::kDescend, decision, node, 0.0, false};
+    }
+    static Action descend(WalkDecision decision, net::HostId node, double dist) {
+      return {Kind::kDescend, decision, node, dist, true};
+    }
+    static Action stop(WalkDecision decision, net::HostId parent) {
+      return {Kind::kStop, decision, parent, 0.0, false};
+    }
+    static Action stop(WalkDecision decision, net::HostId parent, double dist) {
+      return {Kind::kStop, decision, parent, dist, true};
+    }
+  };
+
+  /// Runs the walk for `joiner` from `start` until the policy stops.
+  template <typename Policy>
+  Result run(net::HostId joiner, net::HostId start, OpStats& stats,
+             Policy&& policy) {
+    begin(joiner, start);
+    policy.on_start(*this, stats);
+    for (;;) {
+      next_step(stats);
+      const Action action = policy.step(*this, stats);
+      report(action);
+      if (action.kind == Action::Kind::kStop) {
+        return Result{action.node, action.dist, action.has_dist};
+      }
+      cur_ = action.node;
+    }
+  }
+
+  // --- context read by step policies ------------------------------------
+
+  Session& session() { return session_; }
+  net::HostId joiner() const { return joiner_; }
+  net::HostId cur() const { return cur_; }
+
+  /// Children of cur() that may serve as the joiner's parent (alive, not
+  /// the joiner, not in its subtree), in child-list order.
+  std::span<const net::HostId> kids() const { return scratch_.kids; }
+
+  /// Kid distances of the most recent probe call, aligned with kids().
+  std::span<const double> kid_dists() const;
+
+  /// "N pings S and all children of S" (VDM §3.2): probes cur() and every
+  /// kid concurrently; returns d(joiner, cur).
+  double probe_cur_and_kids(OpStats& stats);
+
+  /// Probes every kid concurrently (HMTP/BTP); returns the kid distances.
+  std::span<const double> probe_kids(OpStats& stats);
+
+  /// The shared has-room predicate: `candidate` can take the joiner's
+  /// uplink — it has a free slot, or it already is the joiner's parent
+  /// (re-choosing one's own parent must never look like a full node).
+  bool can_accept(net::HostId candidate) const;
+
+  /// Drops kids whose subtree (excluding the joiner's) has no attachment
+  /// point left, in place (the Random walk's steppable filter).
+  void filter_kids_subtree_capacity();
+
+  /// The saturated-node fallback ladder: stop at the closest kid with room,
+  /// else descend through the closest capacity-bearing subtree (which must
+  /// exist — the walk never enters a capacity-free subtree).
+  Action saturated_fallback(std::span<const double> kid_dist);
+
+  /// The ladder's bottom rung alone (BTP descends without the free-child
+  /// stop; its next iteration re-checks room at the new node).
+  Action descend_closest_capacity(std::span<const double> kid_dist);
+
+  /// Case-II candidate buffer (cleared by the caller; sorted prefixes of it
+  /// back the adoption spans a join plan carries).
+  std::vector<WalkAdoption>& adoptions_scratch() { return scratch_.adoptions; }
+
+ private:
+  /// Start normalization: restart from the source when the contacted node
+  /// is ineligible or its subtree has no attachment point left (e.g. a
+  /// saturated degree-1 leaf offered as a reconnection grandparent).
+  void begin(net::HostId joiner, net::HostId start);
+
+  /// One iteration prologue: charges the info exchange with cur() and
+  /// enumerates eligible children into scratch.
+  void next_step(OpStats& stats);
+
+  void report(const Action& action);
+
+  Session& session_;
+  WalkScratch& scratch_;
+  WalkObserver* observer_;
+  net::HostId joiner_ = net::kInvalidHost;
+  net::HostId cur_ = net::kInvalidHost;
+  int step_index_ = 0;
+  int step_probes_ = 0;
+  /// Offset of kid distances inside scratch_.dist for the last probe call
+  /// (1 when cur() was probed first, 0 otherwise).
+  std::size_t kid_dist_offset_ = 0;
+};
+
+}  // namespace vdm::overlay

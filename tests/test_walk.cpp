@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "baselines/btp_protocol.hpp"
+#include "baselines/hmtp_protocol.hpp"
+#include "baselines/random_protocol.hpp"
+#include "core/vdm_protocol.hpp"
+#include "helpers.hpp"
+#include "overlay/walk.hpp"
+#include "walk_golden_configs.hpp"
+
+namespace vdm::overlay {
+namespace {
+
+using testutil::Harness;
+using testutil::line_underlay;
+
+// ------------------------------------------------------------------ fixtures
+
+enum class ProtoKind { kVdm, kHmtp, kBtp, kRandom };
+
+const char* proto_kind_name(ProtoKind k) {
+  switch (k) {
+    case ProtoKind::kVdm: return "Vdm";
+    case ProtoKind::kHmtp: return "Hmtp";
+    case ProtoKind::kBtp: return "Btp";
+    case ProtoKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::unique_ptr<Protocol> make_protocol(ProtoKind k) {
+  switch (k) {
+    case ProtoKind::kVdm: return std::make_unique<core::VdmProtocol>();
+    case ProtoKind::kHmtp: return std::make_unique<baselines::HmtpProtocol>();
+    case ProtoKind::kBtp: return std::make_unique<baselines::BtpProtocol>();
+    case ProtoKind::kRandom: return std::make_unique<baselines::RandomProtocol>();
+  }
+  return nullptr;
+}
+
+/// Records every walk step and asserts, online, that no walk revisits a node
+/// within one operation (step == 1 marks a new walk).
+class RecordingObserver final : public WalkObserver {
+ public:
+  void on_step(const WalkStep& s) override {
+    if (s.step == 1) current_walk_.clear();
+    EXPECT_EQ(std::count(current_walk_.begin(), current_walk_.end(), s.node), 0)
+        << "walk for joiner " << s.joiner << " revisited node " << s.node;
+    current_walk_.push_back(s.node);
+    steps_.push_back(s);
+  }
+
+  const std::vector<WalkStep>& steps() const { return steps_; }
+
+  /// The first step at or after index `from` (the start of the walk issued
+  /// after `from` steps had been recorded).
+  const WalkStep& first_step_since(std::size_t from) const {
+    EXPECT_LT(from, steps_.size());
+    return steps_[from];
+  }
+
+ private:
+  std::vector<net::HostId> current_walk_;
+  std::vector<WalkStep> steps_;
+};
+
+/// A 24-host underlay with deterministic, irregular pairwise distances (no
+/// ties, no 1-D shortcuts a protocol could exploit).
+net::MatrixUnderlay scattered_underlay() {
+  std::vector<double> position;
+  for (int i = 0; i < 24; ++i) {
+    position.push_back(static_cast<double>((i * 37) % 101) +
+                       0.01 * static_cast<double>(i));
+  }
+  return line_underlay(position);
+}
+
+class WalkInvariants : public ::testing::TestWithParam<ProtoKind> {};
+
+// -------------------------------------------------------- engine invariants
+
+TEST_P(WalkInvariants, NoRevisitAndNoSaturatedParentUnderChurn) {
+  const std::unique_ptr<Protocol> proto = make_protocol(GetParam());
+  RecordingObserver obs;
+  proto->set_walk_observer(&obs);
+  Harness h(scattered_underlay(), *proto, /*source_degree=*/3);
+
+  // Tight degree limits force saturated-node fallbacks; leaves force
+  // reconnection walks (the observer asserts no-revisit on every step).
+  for (net::HostId n = 1; n <= 16; ++n) h.join(n, 3);
+  h.session.leave(3);
+  h.session.leave(5);
+  h.session.leave(1);
+  for (net::HostId n = 17; n <= 20; ++n) h.join(n, 3);
+
+  EXPECT_FALSE(obs.steps().empty());
+  const Membership& tree = h.session.tree();
+  for (const net::HostId m : tree.alive_members()) {
+    const MemberState& ms = tree.member(m);
+    EXPECT_LE(ms.overlay_links(), ms.degree_limit)
+        << "member " << m << " over its degree limit";
+  }
+}
+
+TEST_P(WalkInvariants, TerminatesUnderFullDegreeTrees) {
+  const std::unique_ptr<Protocol> proto = make_protocol(GetParam());
+  RecordingObserver obs;
+  proto->set_walk_observer(&obs);
+  Harness h(scattered_underlay(), *proto, /*source_degree=*/2);
+
+  // Degree limit 2 everywhere: each member feeds at most one child beyond
+  // its uplink, so the tree degenerates into chains and every join past the
+  // first must walk deep and terminate via the capacity ladder.
+  for (net::HostId n = 1; n <= 18; ++n) h.join(n, 2);
+
+  const Membership& tree = h.session.tree();
+  EXPECT_EQ(tree.alive_members().size(), 19u);
+  for (const WalkStep& s : obs.steps()) {
+    EXPECT_LE(s.step, 20) << "walk ran longer than the member count";
+  }
+}
+
+TEST_P(WalkInvariants, StartFallbackEngagesForDeadAndSaturatedStarts) {
+  const std::unique_ptr<Protocol> proto = make_protocol(GetParam());
+  RecordingObserver obs;
+  proto->set_walk_observer(&obs);
+  Harness h(scattered_underlay(), *proto, /*source_degree=*/4);
+
+  for (net::HostId n = 1; n <= 6; ++n) h.join(n, 4);
+  // A degree-limit-1 member is a pure leaf: its single link is the uplink,
+  // so its subtree has no attachment point at all.
+  const net::HostId saturated_leaf = 7;
+  h.join(saturated_leaf, 1);
+
+  Membership& tree = h.session.tree();
+
+  // Saturated start: the walk must restart from the source, not dead-end.
+  std::size_t mark = obs.steps().size();
+  tree.activate(20, 4);
+  proto->execute_join(h.session, 20, saturated_leaf);
+  EXPECT_EQ(obs.first_step_since(mark).node, h.session.source());
+  EXPECT_EQ(obs.first_step_since(mark).step, 1);
+
+  // Dead start (host 21 was never activated): same source fallback.
+  mark = obs.steps().size();
+  tree.activate(22, 4);
+  proto->execute_join(h.session, 22, /*start=*/21);
+  EXPECT_EQ(obs.first_step_since(mark).node, h.session.source());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, WalkInvariants,
+                         ::testing::Values(ProtoKind::kVdm, ProtoKind::kHmtp,
+                                           ProtoKind::kBtp, ProtoKind::kRandom),
+                         [](const ::testing::TestParamInfo<ProtoKind>& param_info) {
+                           return proto_kind_name(param_info.param);
+                         });
+
+// ------------------------------------------------- shared has-room predicate
+
+/// Minimal policy: asserts the engine's view of the current node's room and
+/// stops there (attaching is the caller's business in this test).
+struct ProbeRoomPolicy {
+  bool expect_room = false;
+  void on_start(TreeWalk&, OpStats&) {}
+  TreeWalk::Action step(TreeWalk& w, OpStats&) {
+    EXPECT_EQ(w.can_accept(w.cur()), expect_room);
+    return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur());
+  }
+};
+
+TEST(WalkPredicate, OwnParentCountsAsHavingRoomEvenWhenFull) {
+  // P (host 1, limit 2) carries its uplink + child N -> full. N re-walking
+  // from P must still see room there (the self-parent allowance the Random
+  // baseline used to miss), while a stranger must not.
+  core::VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 12.0, 30.0}), vdm);
+  ASSERT_EQ(h.join(1, 2), 0u);
+  ASSERT_EQ(h.join(2, 2), 1u);  // N = 2 under P = 1; P now full
+  ASSERT_EQ(h.join(3, 2), 2u);  // keeps P's subtree capacity-bearing
+  ASSERT_FALSE(h.session.tree().member(1).has_free_degree());
+
+  OpStats stats;
+  TreeWalk walk_as_child(h.session);
+  ProbeRoomPolicy sees_room{/*expect_room=*/true};
+  EXPECT_EQ(walk_as_child.run(2, 1, stats, sees_room).parent, 1u);
+
+  // Host 3's parent is 2, not 1 — no allowance at 1 for it.
+  TreeWalk walk_as_stranger(h.session);
+  ProbeRoomPolicy sees_full{/*expect_room=*/false};
+  EXPECT_EQ(walk_as_stranger.run(3, 1, stats, sees_full).parent, 1u);
+}
+
+// -------------------------------------------------- span-out measure overload
+
+TEST(WalkMeasure, SpanOutOverloadMatchesVectorOverloadAndReusesCapacity) {
+  core::VdmProtocol vdm;
+  Harness h(line_underlay({0.0, 10.0, 20.0, 30.0, 40.0}), vdm);
+  for (net::HostId n = 1; n <= 4; ++n) h.join(n);
+
+  const std::vector<net::HostId> targets{1, 2, 3, 4};
+  OpStats s1, s2;
+  const std::vector<double> vec = h.session.measure_parallel(2, targets, s1);
+  std::vector<double> out;
+  const std::span<const double> spanned =
+      h.session.measure_parallel(2, targets, out, s2);
+  ASSERT_EQ(vec.size(), spanned.size());
+  for (std::size_t i = 0; i < vec.size(); ++i) EXPECT_EQ(vec[i], spanned[i]);
+  EXPECT_EQ(s1.messages, s2.messages);
+  EXPECT_EQ(s1.elapsed, s2.elapsed);
+
+  // Steady-state reuse: a second call into the same buffer must not grow it.
+  const std::size_t cap = out.capacity();
+  h.session.measure_parallel(2, targets, out, s2);
+  EXPECT_EQ(out.capacity(), cap);
+}
+
+// ------------------------------------------------------------- walk tracing
+
+TEST(WalkTrace, VdmDescendThenAttachIsReportedStepByStep) {
+  // Figure 3.9 worked example: N beyond child C1 -> Case III descend to C1,
+  // then Case I attach there.
+  core::VdmProtocol vdm;
+  RecordingObserver obs;
+  vdm.set_walk_observer(&obs);
+  Harness h(line_underlay({0.0, 10.0, 18.0}), vdm);
+  ASSERT_EQ(h.join(1), 0u);
+  const std::size_t mark = obs.steps().size();
+  ASSERT_EQ(h.join(2), 1u);
+
+  ASSERT_EQ(obs.steps().size(), mark + 2);
+  const WalkStep& first = obs.steps()[mark];
+  EXPECT_EQ(first.joiner, 2u);
+  EXPECT_EQ(first.node, 0u);
+  EXPECT_EQ(first.step, 1);
+  EXPECT_EQ(first.probes, 2);  // source + one kid
+  EXPECT_EQ(first.decision, WalkDecision::kDirectionalDescend);
+  EXPECT_EQ(first.next, 1u);
+  const WalkStep& second = obs.steps()[mark + 1];
+  EXPECT_EQ(second.node, 1u);
+  EXPECT_EQ(second.step, 2);
+  EXPECT_EQ(second.decision, WalkDecision::kAttach);
+  EXPECT_EQ(second.next, 1u);
+}
+
+// ------------------------------------------------------- hexfloat bit-equality
+
+/// run_once scalars recorded on the pre-TreeWalk hand-rolled protocol loops
+/// (field order: testutil::run_result_scalars). The engine port must keep
+/// every corner bit-identical — same measurement order, same rng draw order.
+struct GoldenRun {
+  const char* name;
+  std::array<double, 23> want;
+};
+
+constexpr GoldenRun kGoldens[] = {
+    {"fig3-vdm",
+     {0x1.03489695d5145p+1, 0x1.835e50d79435ep+2, 0x1.28aac54e39a5p+1,
+      0x1.571c4ad74abfep+1, 0x1.4f6b5886bcf9dp+2, 0x1p+0,
+      0x1.7047dc11f7047p+2, 0x1.b17f126789p+2, 0x1.59435e50d7943p+3,
+      0x1.0765cc70e93f9p-2, 0x1.1eef03da864cfp-7, 0x1.507019de95d3dp-2,
+      0x1.bd4fc9f7f6905p+1, 0x1.25ee56359e71fp+1, 0x1.664d7696f627ap+2,
+      0x1.add62870d85e5p-1, 0x1.29f241f7d9f5dp+2, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.9104e50ad22e8p+0, 0x1.88p+5}},
+    {"fig3-hmtp",
+     {0x1.cf5fd1e087bf9p+0, 0x1.179435e50d794p+2, 0x1.3a1030885ce25p+1,
+      0x1.4eae20b07f6d3p+1, 0x1.1217572287192p+2, 0x1p+0,
+      0x1.d411f7047dc11p+2, 0x1.12f9bc84e1a03p+3, 0x1.ad79435e50d79p+3,
+      0x1.3405e9d39be9dp-2, 0x1.a2b0dfd487c04p-2, 0x1.cad2ba79cd56cp+3,
+      0x1.265a243fc6025p+1, 0x1.6297b1695f43bp+1, 0x1.98ea0dfd2f98cp+2,
+      0x1.6f68bba60d8e7p-1, 0x1.9306c0eb2cef8p+1, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.2647be5d44e65p+0, 0x1.88p+5}},
+    {"fig3-btp",
+     {0x1.131fb688d19bdp+1, 0x1.b5e50d79435e5p+2, 0x1.8aedb418b321bp+1,
+      0x1.c22bab0e1be6ap+1, 0x1.2960e28816f7ap+3, 0x1p+0,
+      0x1.4835e50d79436p+2, 0x1.8acce0aa03ff3p+2, 0x1.5ca1af286bca2p+3,
+      0x1.0bdab20deb51p-2, 0x1.46be87751d363p-4, 0x1.81366f05edadp+1,
+      0x1.152e2ecb2c158p+2, 0x1.0e9aa07b3087fp+0, 0x1.4dad5da9085bep+1,
+      0x1.67aa0381a1aacp-1, 0x1.c8350ec23437ep+0, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.1a405fd0f64d4p+1, 0x1.88p+5}},
+    {"fig3-random",
+     {0x1.4c226464d25c2p+1, 0x1.0d79435e50d79p+4, 0x1.09b1bfd9ce1bbp+2,
+      0x1.4b39af455a51dp+2, 0x1.2ce0504ea2e6p+4, 0x1p+0,
+      0x1.9f9435e50d794p+1, 0x1.f424fd07fc6afp+1, 0x1.abca1af286bcap+2,
+      0x1.c79dc364c0f0fp-3, 0x1.b824cc9aa138p-9, 0x1.14bfdd81e2e5ap-3,
+      0x1.c229be1bbb54p+2, 0x1.83075734d41efp+0, 0x1.9d8672654a3e6p+1,
+      0x1.44044cbb3af3bp+0, 0x1.9be891a58bd18p+1, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.ec0f272e4ed53p+1, 0x1.88p+5}},
+    {"degree2-vdm",
+     {0x1.fb9c9cdb71c3dp+0, 0x1.179435e50d794p+2, 0x1.53352943c1af3p+2,
+      0x1.6bffb337b002p+2, 0x1.b26d3ddb52ae3p+3, 0x1p+0,
+      0x1.68b3a62ce98b3p+3, 0x1.9435e50d79436p+3, 0x1.c79435e50d794p+4,
+      0x1.1226e380de565p-8, 0x1.3fcef53dec701p-8, 0x1.df64c87d09298p-3,
+      0x1.be701ae8b1885p+1, 0x1.398e113e72621p+2, 0x1.6fe693842fcbap+4,
+      0x1.218cafaf876dap+0, 0x1.419c7bd5d77a7p+4, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.066d9c46e7341p+1, 0x1.88p+5}},
+    {"degree2-hmtp",
+     {0x1.2203a18c15419p+1, 0x1.15e50d79435e5p+3, 0x1.4ebf086804f4p+3,
+      0x1.29864286c4d27p+3, 0x1.11682f8c496bfp+5, 0x1p+0,
+      0x1.974c59d31674dp+3, 0x1.8p+3, 0x1.de50d79435e51p+4,
+      0x1.fdb96f8cbdaf3p-11, 0x1.0470bff5fcd4ep-1, 0x1.875a46102b1dcp+4,
+      0x1.42e12b4a56118p+2, 0x1.2f5d76075f598p+3, 0x1.99737efd91576p+4,
+      0x1.93002626b7aa7p-1, 0x1.793fd9200633cp+0, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.54e5b419d2384p+1, 0x1.88p+5}},
+    {"degree2-btp",
+     {0x1.16da425cf8273p+1, 0x1.b5e50d79435e5p+2, 0x1.872e0034b0c83p+2,
+      0x1.67be7fc05ea1ap+3, 0x1.637200b7822e1p+5, 0x1p+0,
+      0x1.c4d79435e50d9p+2, 0x1.435e50d79435dp+3, 0x1.1a1af286bca1bp+4,
+      0x1.d8e6c87a0da1bp-12, 0x1.94de599b110d8p-5, 0x1.303a34d11c908p+1,
+      0x1.1f7e939c01f21p+2, 0x1.0211bcc04b8eap+2, 0x1.c90b4543bfb0fp+3,
+      0x1.453be118f2205p-1, 0x1.18d1bf9335804p+0, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.2c4fe05f20ea4p+1, 0x1.88p+5}},
+    {"degree2-random",
+     {0x1.46925f76726f1p+1, 0x1.dca1af286bca2p+3, 0x1.34eb2302b269cp+3,
+      0x1.cf51be14ff667p+3, 0x1.05709b6354611p+7, 0x1p+0,
+      0x1.67a62ce98b3a7p+2, 0x1.373dfa9c4b73dp+3, 0x1.aa1af286bca1bp+3,
+      0x1.133cf427a5f5ep-11, 0x1.befff9b99bbap-10, 0x1.50089f87469a3p-4,
+      0x1.d3f17e613fff8p+2, 0x1.71235f57292dfp+1, 0x1.74151565fdff9p+2,
+      0x1.f7df665627794p-1, 0x1.699ef9874f292p+1, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.e8a17b7933e9bp+1, 0x1.88p+5}},
+    {"fig5-vdmr",
+     {0x1p+0, 0x1p+0, 0x1.2b7d4d1a81953p+0,
+      0x1.4aafce7c8acc5p+0, 0x1.f68eea3f52a76p+0, 0x1.63375ed88fe23p-1,
+      0x1.b0a1af286bca2p+1, 0x1.0ec065981c435p+2, 0x1.a1af286bca1afp+2,
+      0x1.cb1582266ap-14, 0x1.30bd58dcd8242p-4, 0x1.312ff76078b96p+1,
+      0x1.ad0920c6b958p-3, 0x1.b13740ac3ed76p-3, 0x1.1413ee0d8c058p-1,
+      0x1.87fac6e2dde79p-4, 0x1.14bb96507597p-1, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.c6a58ba84e4c2p+0, 0x1.08p+5}},
+    {"fig5-hmtp",
+     {0x1p+0, 0x1p+0, 0x1.5425948d879e1p+0,
+      0x1.6d7265bd01b19p+0, 0x1.63df16bf7657cp+1, 0x1.808526f67b0e2p-1,
+      0x1.1faf286bca1afp+2, 0x1.56e2d51124f9cp+2, 0x1.3e50d79435e51p+3,
+      0x1.33b4552b441afp-14, 0x1.8a98596cdc81ap-3, 0x1.8b13f0e8d3447p+2,
+      0x1.46751fe12906ep-3, 0x1.16e9ff46b931dp-2, 0x1.7285262cabf08p-1,
+      0x1.83a0e7739a20bp-4, 0x1.4ac41feb92513p-2, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.adb77ed41f2ddp+0, 0x1.08p+5}},
+    {"fig5-btp",
+     {0x1p+0, 0x1p+0, 0x1.df75b4037b4efp+0,
+      0x1.fa34cd027dea3p+0, 0x1.0e8e0ded36747p+2, 0x1.9a7479559220ap-1,
+      0x1.34f286bca1af3p+2, 0x1.726f840f86c9dp+2, 0x1.4p+3,
+      0x1.350f8b11af943p-16, 0x1.e1f923b5f89bdp-5, 0x1.e2bec990fa127p+0,
+      0x1.9c0bf82333cp-2, 0x1.3de37cb7e9441p-3, 0x1.4cff91feb7362p-2,
+      0x1.f21fab1929f13p-4, 0x1.5df8f34767983p-2, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.02fde2d6bc17dp+2, 0x1.08p+5}},
+    {"fig5-random",
+     {0x1p+0, 0x1p+0, 0x1.20479ca78ae28p+2,
+      0x1.28172e74afadap+2, 0x1.e22ec757abfd3p+4, 0x1.8720e4354122bp-1,
+      0x1.5ef286bca1af3p+1, 0x1.acf9565206cf8p+1, 0x1.5435e50d79436p+2,
+      0x1.e1889141c06bdp-16, 0x1.5adf4dbeb2103p-10, 0x1.5b9efd4e25bap-5,
+      0x1.4fae54a5af482p-1, 0x1.adf52100aee4bp-3, 0x1.0629e65109d08p-1,
+      0x1.4c61b2a5fc374p-3, 0x1.a3422e4f7d4b2p-2, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.64711fce399afp+2, 0x1.08p+5}},
+    {"crash-vdm",
+     {0x1.e94d361019c42p+0, 0x1.d0d79435e50d8p+2, 0x1.bdf71ef6f656p+0,
+      0x1.0002926ad774ep+1, 0x1.48e8741addcd6p+2, 0x1p+0,
+      0x1.fp+1, 0x1.1e5096f9118d8p+2, 0x1.daf286bca1af3p+2,
+      0x1.0b8cef900d3p-8, 0x1.026dac905573cp+0, 0x1.817e8494bfdd8p+5,
+      0x1.a3b26b51539d5p+1, 0x1.a11fb2f208addp+0, 0x1.08402b40551fdp+2,
+      0x1.ab66e7144eb66p-1, 0x1.84838b10d21a1p+1, 0x1.7c3f74f0cfd3cp+1,
+      0x1.bc28bbc62d8p+1, 0x1.e7192eb5e3817p+1, 0x1.6cdabf1caf5c3p+2,
+      0x1.dd27ea91a84f7p+0, 0x1.88p+5}},
+    {"crash-hmtp",
+     {0x1.be5ac76df713bp+0, 0x1.6bca1af286bcap+2, 0x1.9bffd7d4b20d3p+0,
+      0x1.b7c62da538b68p+0, 0x1.5966f6afd8e9dp+1, 0x1p+0,
+      0x1.f0d79435e50d8p+1, 0x1.1ce1a7d7db8b6p+2, 0x1.daf286bca1af3p+2,
+      0x1.ca1f8a6c98c28p-9, 0x1.41da53c2a2f03p+0, 0x1.e06b40227e1d3p+5,
+      0x1.1ed8adedad69dp+1, 0x1.b5dda9756409bp+0, 0x1.027be57598842p+2,
+      0x1.a47b42da48d3cp-1, 0x1.6f8b01689e297p+1, 0x1.7ca15764445ebp+1,
+      0x1.bf1398763cp+1, 0x1.e5c0281ad6934p+1, 0x1.57c580b44f14cp+2,
+      0x1.1eb2dc86a85d6p+0, 0x1.88p+5}},
+};
+
+class WalkGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WalkGolden, RunOnceScalarsBitIdenticalToPrePortLoops) {
+  const GoldenRun& golden = kGoldens[GetParam()];
+  const std::vector<testutil::NamedRunConfig> configs =
+      testutil::walk_golden_configs();
+  const auto it =
+      std::find_if(configs.begin(), configs.end(),
+                   [&](const auto& c) { return c.name == golden.name; });
+  ASSERT_NE(it, configs.end()) << golden.name;
+
+  const experiments::RunResult r = experiments::run_once(it->cfg);
+  const std::vector<double> got = testutil::run_result_scalars(r);
+  ASSERT_EQ(got.size(), golden.want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], golden.want[i])
+        << golden.name << " scalar #" << i << " drifted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorners, WalkGolden,
+                         ::testing::Range(std::size_t{0}, std::size(kGoldens)),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           std::string name = kGoldens[param_info.param].name;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vdm::overlay

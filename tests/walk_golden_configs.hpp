@@ -1,0 +1,116 @@
+#pragma once
+
+// The parameter corners pinned by the walk-engine port (tests/test_walk.cpp):
+// every protocol, both substrate families (fig3 transit-stub / fig5 geo), the
+// saturation-heavy degree corner (average degree 2.0 turns the fallback
+// ladder into the common path) and the crash-churn corner (reconnection
+// walks under heartbeats + lossy control). run_once over these configs must
+// stay bit-identical across control-plane refactors; the goldens in
+// tests/test_walk.cpp were recorded on the pre-TreeWalk protocol loops.
+
+#include <string>
+#include <vector>
+
+#include "experiments/runner.hpp"
+
+namespace vdm::testutil {
+
+struct NamedRunConfig {
+  std::string name;
+  experiments::RunConfig cfg;
+};
+
+inline std::vector<NamedRunConfig> walk_golden_configs() {
+  using experiments::Proto;
+  using experiments::RunConfig;
+  using experiments::Substrate;
+
+  std::vector<NamedRunConfig> out;
+
+  // fig3 corner: transit-stub, 48 members, lossy links, high churn.
+  const auto fig3 = [](Proto p) {
+    RunConfig cfg;
+    cfg.substrate = Substrate::kTransitStub;
+    cfg.protocol = p;
+    cfg.scenario.target_members = 48;
+    cfg.scenario.churn_rate = 0.10;
+    cfg.link_loss_max = 0.02;
+    cfg.seed = 7;
+    return cfg;
+  };
+  out.push_back({"fig3-vdm", fig3(Proto::kVdm)});
+  out.push_back({"fig3-hmtp", fig3(Proto::kHmtp)});
+  out.push_back({"fig3-btp", fig3(Proto::kBtp)});
+  out.push_back({"fig3-random", fig3(Proto::kRandom)});
+
+  // fig3 degree corner: average degree 2.0 — most members are limit-2, so
+  // interior nodes are saturated and every walk exercises the
+  // free-child / capacity-subtree fallback ladder.
+  const auto degree2 = [](Proto p) {
+    RunConfig cfg;
+    cfg.substrate = Substrate::kTransitStub;
+    cfg.protocol = p;
+    cfg.scenario.target_members = 48;
+    cfg.scenario.degrees = overlay::DegreeSpec::average(2.0);
+    cfg.seed = 7;
+    return cfg;
+  };
+  out.push_back({"degree2-vdm", degree2(Proto::kVdm)});
+  out.push_back({"degree2-hmtp", degree2(Proto::kHmtp)});
+  out.push_back({"degree2-btp", degree2(Proto::kBtp)});
+  out.push_back({"degree2-random", degree2(Proto::kRandom)});
+
+  // fig5 corner: geo latency space (matrix underlay), refinement on for the
+  // protocols that have it (VDM-R re-runs the join walk from the source).
+  const auto fig5 = [](Proto p) {
+    RunConfig cfg;
+    cfg.substrate = Substrate::kGeoUs;
+    cfg.protocol = p;
+    cfg.scenario.target_members = 32;
+    cfg.seed = 11;
+    return cfg;
+  };
+  out.push_back({"fig5-vdmr", fig5(Proto::kVdmRefine)});
+  out.push_back({"fig5-hmtp", fig5(Proto::kHmtp)});
+  out.push_back({"fig5-btp", fig5(Proto::kBtp)});
+  out.push_back({"fig5-random", fig5(Proto::kRandom)});
+
+  // Crash-churn corner: every departure is an ungraceful crash, heartbeat
+  // detection and a lossy control plane — reconnection walks start at the
+  // grandparent and the retry/timeout draws interleave with probe draws.
+  const auto crash = [](Proto p) {
+    RunConfig cfg;
+    cfg.substrate = Substrate::kTransitStub;
+    cfg.protocol = p;
+    cfg.scenario.target_members = 48;
+    cfg.scenario.churn_rate = 0.10;
+    cfg.scenario.crash_fraction = 1.0;
+    cfg.session.faults.heartbeat_period = 1.0;
+    cfg.session.faults.heartbeat_misses = 3;
+    cfg.session.faults.heartbeat_timeout = 0.5;
+    cfg.session.faults.lossy_control = true;
+    cfg.session.faults.control_loss_extra = 0.01;
+    cfg.seed = 7;
+    return cfg;
+  };
+  out.push_back({"crash-vdm", crash(Proto::kVdm)});
+  out.push_back({"crash-hmtp", crash(Proto::kHmtp)});
+
+  return out;
+}
+
+/// The scalar fields of a RunResult in a fixed order, for table-driven
+/// bit-equality checks (final_members rides along as a double; it is an
+/// exact small integer).
+inline std::vector<double> run_result_scalars(const experiments::RunResult& r) {
+  return {r.stress,        r.stress_max,    r.stretch,
+          r.stretch_leaf,  r.stretch_max,   r.stretch_min,
+          r.hopcount,      r.hop_leaf,      r.hop_max,
+          r.loss,          r.overhead,      r.overhead_per_chunk,
+          r.network_usage, r.startup_avg,   r.startup_max,
+          r.reconnect_avg, r.reconnect_max, r.detection_avg,
+          r.detection_max, r.outage_avg,    r.outage_max,
+          r.mst_ratio,     static_cast<double>(r.final_members)};
+}
+
+}  // namespace vdm::testutil

@@ -16,6 +16,7 @@
 
 #include "experiments/runner.hpp"
 #include "experiments/sweep.hpp"
+#include "overlay/walk.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -50,10 +51,27 @@ int usage() {
       "  --seed       base seed                             (default 1)\n"
       "  --threads    worker cap for the seed sweep; 0 = hardware (default 0)\n"
       "  --quiet      suppress the per-seed progress line on stderr\n"
+      "  --trace-joins  print one line per tree-walk step (forces --threads 1;\n"
+      "               pair with small --members/--seeds, it is verbose)\n"
       "  --csv        emit machine-readable CSV instead of a table\n"
       "  --help       this text\n";
   return 0;
 }
+
+/// --trace-joins sink: one line per walk iteration across every join,
+/// reconnection and refinement walk of the run.
+class StdoutWalkTrace final : public overlay::WalkObserver {
+ public:
+  void on_step(const overlay::WalkStep& s) override {
+    const std::string_view decision = overlay::walk_decision_name(s.decision);
+    std::printf(
+        "walk joiner=%llu step=%d at=%llu probes=%d decision=%.*s next=%llu\n",
+        static_cast<unsigned long long>(s.joiner), s.step,
+        static_cast<unsigned long long>(s.node), s.probes,
+        static_cast<int>(decision.size()), decision.data(),
+        static_cast<unsigned long long>(s.next));
+  }
+};
 
 }  // namespace
 
@@ -144,6 +162,11 @@ int main(int argc, char** argv) {
 
   SweepOptions sweep;
   sweep.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  StdoutWalkTrace trace;
+  if (flags.get_bool("trace-joins", false)) {
+    cfg.walk_observer = &trace;
+    sweep.threads = 1;  // keep the interleaved trace deterministic
+  }
   const auto start = std::chrono::steady_clock::now();
   if (!flags.get_bool("quiet", false)) {
     sweep.progress = [start](std::size_t done, std::size_t total) {
