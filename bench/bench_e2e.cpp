@@ -157,6 +157,46 @@ void BM_RunOnceArena(benchmark::State& state) {
 }
 BENCHMARK(BM_RunOnceArena)->Arg(200)->Unit(benchmark::kMillisecond);
 
+/// run_once on the coordinate-embedded underlay: delay is O(1) from host
+/// coordinates, so no router graph, no O(N^2) matrix, and run_once scales
+/// to overlays two orders of magnitude past the paper's 200 members. The
+/// timeline is compressed (fewer epochs, lighter chunk rate) so the 65536
+/// row measures tree construction + SoA chunk flood, not wall-clock filler.
+/// arena_grow_per_iter must be exactly 0 after the warm run, same contract
+/// as BM_RunOnceArena.
+void BM_RunOnceCoord(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kCoordPlane;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = static_cast<std::size_t>(state.range(0));
+  cfg.scenario.join_phase = 400.0;
+  cfg.scenario.total_time = 1200.0;
+  cfg.scenario.churn_interval = 200.0;
+  cfg.scenario.settle_time = 50.0;
+  cfg.scenario.churn_rate = 0.01;
+  cfg.session.chunk_rate = 0.1;
+  cfg.compute_mst_ratio = false;  // O(N^2) baseline would dominate at 65536
+  cfg.seed = 7;
+  experiments::RunScratch scratch;
+  benchmark::DoNotOptimize(experiments::run_once(cfg, scratch));  // warm
+
+  const std::uint64_t grows_before = scratch.grow_events();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    experiments::RunResult r = experiments::run_once(cfg, scratch);
+    benchmark::DoNotOptimize(r);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["arena_grow_per_iter"] =
+      static_cast<double>(scratch.grow_events() - grows_before) / iters;
+  state.counters["allocs_per_iter"] = static_cast<double>(allocs) / iters;
+}
+BENCHMARK(BM_RunOnceCoord)
+    ->Arg(2048)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
 /// A small paper-style grid (three overlay sizes x 4 seeds) through
 /// run_grid. threads:1 is the serial reference; threads:0 lets the shared
 /// pool size itself to the hardware — on a multi-core host the ratio of the

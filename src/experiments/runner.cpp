@@ -12,7 +12,9 @@
 #include "baselines/random_protocol.hpp"
 #include "core/vdm_protocol.hpp"
 #include "overlay/walk.hpp"
+#include "net/coord_underlay.hpp"
 #include "sim/simulator.hpp"
+#include "topology/coord.hpp"
 #include "topology/geo.hpp"
 #include "topology/transit_stub.hpp"
 #include "topology/waxman.hpp"
@@ -145,7 +147,18 @@ struct RunScratch::Impl {
   std::vector<double> geo_delay;
   std::vector<double> geo_loss;
 
+  // Coordinate substrates: two coordinate arrays, O(N) total — what lets
+  // run_once reach 100k+ hosts without an O(N^2) delay matrix.
+  std::optional<net::CoordUnderlay> coord_underlay;
+  std::vector<double> coord_x;
+  std::vector<double> coord_y;
+
   metrics::CollectorScratch collector;
+
+  /// Warm Membership (member slots, children capacity, flood arrays),
+  /// ping-ponged into each run's Session via swap_tree_storage; null until
+  /// the first run.
+  std::unique_ptr<overlay::Membership> tree;
 
   /// Warm tree-walk buffers, swapped into each run's Session for its
   /// lifetime (overlay/walk.hpp); null until the first run.
@@ -157,8 +170,11 @@ struct RunScratch::Impl {
   std::size_t capacity_bytes() const {
     std::size_t bytes = collector.capacity_bytes();
     if (walk) bytes += walk->capacity_bytes();
+    if (tree) bytes += tree->capacity_bytes();
     if (graph_underlay) bytes += graph_underlay->arena_capacity_bytes();
     if (matrix_underlay) bytes += matrix_underlay->arena_capacity_bytes();
+    if (coord_underlay) bytes += coord_underlay->arena_capacity_bytes();
+    bytes += (coord_x.capacity() + coord_y.capacity()) * sizeof(double);
     bytes += ts.graph.capacity_bytes() + wax.graph.capacity_bytes();
     bytes += (ts.transit_routers.capacity() + ts.stub_routers.capacity() +
               hosts.capacity() + all_routers.capacity()) *
@@ -238,6 +254,35 @@ net::Underlay* build_underlay(const RunConfig& cfg, std::size_t pool,
       }
       return &*s.matrix_underlay;
     }
+    case Substrate::kCoordUs:
+    case Substrate::kCoordWorld:
+    case Substrate::kCoordPlane: {
+      topo::CoordParams cp;
+      cp.num_hosts = pool;
+      if (cfg.substrate == Substrate::kCoordPlane) {
+        cp.space = topo::CoordSpace::kPlane;
+      } else {
+        cp.space = topo::CoordSpace::kGeo;
+        cp.regions = cfg.substrate == Substrate::kCoordUs
+                         ? topo::us_regions()
+                         : topo::world_regions();
+      }
+      net::CoordUnderlay::Params up;
+      up.space = cp.space == topo::CoordSpace::kGeo
+                     ? net::CoordUnderlay::Space::kSpherical
+                     : net::CoordUnderlay::Space::kEuclidean;
+      // Coordinate delays are deterministic, so loss is the one knob left:
+      // a uniform per-pair drop probability.
+      up.loss = cfg.link_loss_max;
+      if (s.coord_underlay) s.coord_underlay->release(s.coord_x, s.coord_y);
+      topo::make_coord_into(cp, rng, s.coord_x, s.coord_y);
+      if (s.coord_underlay) {
+        s.coord_underlay->rebind(up, std::move(s.coord_x), std::move(s.coord_y));
+      } else {
+        s.coord_underlay.emplace(up, std::move(s.coord_x), std::move(s.coord_y));
+      }
+      return &*s.coord_underlay;
+    }
   }
   VDM_REQUIRE_MSG(false, "unknown substrate");
   return nullptr;
@@ -269,6 +314,9 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   sp.source = 0;
   overlay::Session session(simulator, *underlay, *protocol, *metric, sp, session_rng);
   session.swap_walk_scratch(scratch.impl_->walk);
+  // Adopt the arena's warm tree (member slots, children capacity, flood
+  // arrays survive between runs); swapped back after the final metrics read.
+  session.swap_tree_storage(scratch.impl_->tree);
   metrics::Collector collector(session, scratch.impl_->collector);
   overlay::ScenarioDriver driver(session, config.scenario, scenario_rng);
   driver.run([&](sim::Time at) { collector.capture(at); });
@@ -314,12 +362,18 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   r.outage_avg = mean_or_zero(outages);
   r.outage_max = max_or_zero(outages);
 
-  r.mst_ratio = baselines::mst_ratio(session.tree(), session.source(), *underlay);
+  r.mst_ratio = config.compute_mst_ratio
+                    ? baselines::mst_ratio(session.tree(), session.source(),
+                                           *underlay)
+                    : 1.0;
   r.final_members = session.tree().alive_members().size();
   if (config.keep_epochs) {
     const std::span<const metrics::EpochSample> epochs = collector.samples();
     r.epochs.assign(epochs.begin(), epochs.end());
   }
+  // Final metrics are read; return the warm tree to the arena so its
+  // capacity survives into the next run (and is counted below).
+  session.swap_tree_storage(scratch.impl_->tree);
 
   // Arena-growth accounting: a run that ends with more reserved bytes than
   // any run before it grew some buffer. Steady-state sweeps (same-shaped

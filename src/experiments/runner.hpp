@@ -17,6 +17,9 @@ enum class Substrate {
   kWaxman,       ///< flat Waxman router graph (robustness cross-check)
   kGeoUs,        ///< PlanetLab-like latency space, US-only pool (Chapter 5)
   kGeoWorld,     ///< PlanetLab-like latency space, world-wide pool
+  kCoordUs,      ///< coordinate-embedded underlay, US geo placement (O(1) delay)
+  kCoordWorld,   ///< coordinate-embedded underlay, world geo placement
+  kCoordPlane,   ///< coordinate-embedded underlay, synthetic uniform plane
 };
 
 enum class Proto { kVdm, kVdmRefine, kHmtp, kBtp, kRandom };
@@ -55,6 +58,12 @@ struct RunConfig {
   bool hmtp_foster_child = false;
   /// TTL of the cached measurement service (kCached* metrics).
   sim::Time metric_cache_ttl = sim::seconds(300);
+
+  /// Compute the final-tree MST ratio (Figure 5.31). The baseline is an
+  /// O(N^2) Prim pass over the surviving members — negligible at paper
+  /// scale, dominant at coordinate-substrate scale (100k+ members), so
+  /// large-N runs switch it off and report mst_ratio = 1.0.
+  bool compute_mst_ratio = true;
 
   /// Epochs dropped from scalar aggregation (the join-phase epoch is noisy).
   std::size_t epoch_skip = 1;

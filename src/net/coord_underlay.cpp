@@ -1,0 +1,99 @@
+#include "net/coord_underlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace vdm::net {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusKm = 6371.0;
+
+double deg2rad(double d) { return d * kPi / 180.0; }
+}  // namespace
+
+CoordUnderlay::CoordUnderlay(const Params& params, std::vector<double> x,
+                             std::vector<double> y)
+    : params_(params), x_(std::move(x)), y_(std::move(y)) {
+  validate_and_index();
+}
+
+void CoordUnderlay::validate_and_index() {
+  VDM_REQUIRE_MSG(x_.size() == y_.size(), "coordinate arrays must be parallel");
+  VDM_REQUIRE_MSG(x_.size() >= 2, "an underlay needs at least two hosts");
+  VDM_REQUIRE(params_.propagation_kms > 0.0);
+  VDM_REQUIRE(params_.inflation > 0.0);
+  VDM_REQUIRE(params_.min_delay >= 0.0);
+  VDM_REQUIRE(params_.loss >= 0.0 && params_.loss < 1.0);
+  n_ = x_.size();
+  if (params_.space == Space::kSpherical) {
+    // Chord form of the great-circle distance: with per-host unit vectors,
+    // the central angle of a pair is 2*asin(|u_a - u_b| / 2) — numerically
+    // stable for nearby points and mathematically identical to haversine
+    // (topo::great_circle_km), at O(1) per query with no per-pair trig.
+    ux_.resize(n_);
+    uy_.resize(n_);
+    uz_.resize(n_);
+    for (std::size_t h = 0; h < n_; ++h) {
+      const double lat = deg2rad(x_[h]);
+      const double lon = deg2rad(y_[h]);
+      const double cos_lat = std::cos(lat);
+      ux_[h] = cos_lat * std::cos(lon);
+      uy_[h] = cos_lat * std::sin(lon);
+      uz_[h] = std::sin(lat);
+    }
+  } else {
+    // clear() keeps capacity so a spherical rebind after a Euclidean one
+    // does not re-grow the unit-vector buffers.
+    ux_.clear();
+    uy_.clear();
+    uz_.clear();
+  }
+}
+
+sim::Time CoordUnderlay::delay(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  double km;
+  if (params_.space == Space::kSpherical) {
+    const double dx = ux_[a] - ux_[b];
+    const double dy = uy_[a] - uy_[b];
+    const double dz = uz_[a] - uz_[b];
+    const double half_chord = 0.5 * std::sqrt(dx * dx + dy * dy + dz * dz);
+    km = 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, half_chord));
+  } else {
+    const double dx = x_[a] - x_[b];
+    const double dy = y_[a] - y_[b];
+    km = std::sqrt(dx * dx + dy * dy);
+  }
+  return std::max(params_.min_delay,
+                  km * params_.inflation / params_.propagation_kms);
+}
+
+std::vector<LinkId> CoordUnderlay::path(HostId, HostId) const { return {}; }
+
+void CoordUnderlay::for_each_path_link(HostId, HostId,
+                                       util::FunctionRef<void(LinkId)>) const {}
+
+double CoordUnderlay::link_delay(LinkId) const {
+  VDM_REQUIRE_MSG(false, "a coordinate underlay has no links");
+  return 0.0;
+}
+
+void CoordUnderlay::release(std::vector<double>& x_out, std::vector<double>& y_out) {
+  x_out = std::move(x_);
+  y_out = std::move(y_);
+  n_ = 0;
+}
+
+void CoordUnderlay::rebind(const Params& params, std::vector<double> x,
+                           std::vector<double> y) {
+  params_ = params;
+  x_ = std::move(x);
+  y_ = std::move(y);
+  validate_and_index();
+}
+
+}  // namespace vdm::net

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <vector>
+
+#include "net/underlay.hpp"
+
+namespace vdm::net {
+
+/// Underlay where every host is a point in an embedded metric space and
+/// every distance is pure arithmetic over the two endpoints' coordinates:
+/// no router graph, no Dijkstra, no O(N²) host-pair matrix, zero per-pair
+/// cached state. Memory and construction cost are O(N), which is what lets
+/// run_once scale to 100k+ members (the dense-matrix substrate needs 32 GB
+/// at N=65536 before the first chunk flows).
+///
+/// Two coordinate spaces are supported: spherical (lat/lon degrees, the
+/// geo/testbed placement model, great-circle distance) and Euclidean (a
+/// synthetic planar embedding in km for large-N scaling runs). Delay is
+/// distance x a fixed path-inflation factor over the propagation speed,
+/// floored at min_delay — the geo substrate's model minus its per-pair
+/// inflation draw, which would be per-pair state.
+///
+/// There are no links, pseudo or otherwise: num_links() == 0 and paths are
+/// empty, so stress reads as 0 and the collector's stretch falls out as
+/// overlay delay versus the direct coordinate distance (tree_metrics needs
+/// no special case). Loss is a single uniform per-pair probability.
+class CoordUnderlay final : public Underlay {
+ public:
+  enum class Space {
+    kSpherical,  ///< x = latitude deg, y = longitude deg; great-circle km
+    kEuclidean,  ///< x/y in km on a plane; straight-line km
+  };
+
+  struct Params {
+    Space space = Space::kSpherical;
+    /// Signal propagation speed in fiber, km/s (~2/3 c).
+    double propagation_kms = 200000.0;
+    /// Fixed path-inflation factor: the midpoint of the geo substrate's
+    /// per-pair [1.4, 2.4] range (a per-pair draw is exactly the O(N²)
+    /// state this substrate exists to avoid).
+    double inflation = 1.9;
+    /// Floor on one-way delay (local processing + last mile), seconds.
+    double min_delay = 0.0005;
+    /// Uniform per-pair drop probability in [0, 1); 0 = lossless.
+    double loss = 0.0;
+  };
+
+  /// `x` and `y` are parallel per-host coordinate arrays (lat/lon degrees
+  /// for kSpherical, km for kEuclidean); topo::make_coord_into fills them.
+  CoordUnderlay(const Params& params, std::vector<double> x, std::vector<double> y);
+
+  std::size_t num_hosts() const override { return n_; }
+  sim::Time delay(HostId a, HostId b) const override;
+  double loss(HostId a, HostId b) const override {
+    return a == b ? 0.0 : params_.loss;
+  }
+  /// No physical links exist in a coordinate space: paths are empty and the
+  /// visitor is never called, so per-link stress accounting reports zero.
+  std::vector<LinkId> path(HostId a, HostId b) const override;
+  void for_each_path_link(HostId a, HostId b,
+                          util::FunctionRef<void(LinkId)> visit) const override;
+  double link_delay(LinkId link) const override;
+  std::size_t num_links() const override { return 0; }
+
+  const Params& params() const { return params_; }
+
+  // ------------------------------------------------------------ arena reuse
+  /// Moves the coordinate arrays out so a generator can refill the same
+  /// storage; queries are invalid until rebind() seats new coordinates.
+  void release(std::vector<double>& x_out, std::vector<double>& y_out);
+
+  /// Seats freshly filled coordinates (same contract as the constructor),
+  /// keeping the derived unit-vector buffers' capacity.
+  void rebind(const Params& params, std::vector<double> x, std::vector<double> y);
+
+  /// Heap bytes reserved by the coordinate and unit-vector arrays.
+  std::size_t arena_capacity_bytes() const {
+    return (x_.capacity() + y_.capacity() + ux_.capacity() + uy_.capacity() +
+            uz_.capacity()) *
+           sizeof(double);
+  }
+
+ private:
+  void validate_and_index();
+
+  Params params_;
+  std::size_t n_ = 0;
+  std::vector<double> x_;
+  std::vector<double> y_;
+  /// Spherical fast path: each host's 3D unit vector on the sphere,
+  /// precomputed once so delay() is a chord length + one asin — no per-pair
+  /// trig re-derivation. Empty in Euclidean mode.
+  std::vector<double> ux_, uy_, uz_;
+};
+
+}  // namespace vdm::net

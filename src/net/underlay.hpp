@@ -10,13 +10,17 @@ namespace vdm::net {
 
 /// Abstraction of the physical network as the overlay perceives it.
 ///
-/// Two implementations exist:
+/// Three implementations exist:
 ///  * GraphUnderlay  — hosts attached to a router topology; paths, delays
 ///    and losses come from shortest-path routing (the NS-2-style substrate
 ///    of the paper's Chapter 3/4 experiments).
 ///  * MatrixUnderlay — direct host-to-host latency/loss matrices (the
 ///    PlanetLab-style substrate of Chapter 5, where no router map exists
 ///    and "network usage" replaces per-link stress).
+///  * CoordUnderlay  — hosts as points in an embedded metric space
+///    (lat/lon or a synthetic plane); delay is O(1) arithmetic over the two
+///    endpoints' coordinates with O(N) total state, the substrate for
+///    100k+-member scaling runs where an O(N²) matrix cannot exist.
 ///
 /// Overlay code depends only on this interface, so every protocol runs
 /// unchanged on both substrates.

@@ -7,32 +7,90 @@
 
 namespace vdm::overlay {
 
+void FloodTable::assign(std::size_t n) {
+  receiving_since.assign(n, 0.0);
+  in_session_since.assign(n, 0.0);
+  uplink_loss.assign(n, 0.0);
+  uplink_loss_parent.assign(n, kInvalidHost);
+  chunks_expected.assign(n, 0);
+  chunks_received.assign(n, 0);
+}
+
+void FloodTable::reset_host(HostId h) {
+  receiving_since[h] = 0.0;
+  in_session_since[h] = 0.0;
+  uplink_loss[h] = 0.0;
+  uplink_loss_parent[h] = kInvalidHost;
+  chunks_expected[h] = 0;
+  chunks_received[h] = 0;
+}
+
+std::size_t FloodTable::capacity_bytes() const {
+  return (receiving_since.capacity() + in_session_since.capacity() +
+          uplink_loss.capacity()) *
+             sizeof(double) +
+         uplink_loss_parent.capacity() * sizeof(HostId) +
+         (chunks_expected.capacity() + chunks_received.capacity()) *
+             sizeof(std::uint32_t);
+}
+
+void Membership::reset(std::size_t num_hosts) {
+  if (members_.size() < num_hosts) members_.resize(num_hosts);
+  // Clear every slot ever used (not just the new range): a slot beyond the
+  // new pool must not resurface alive when a later reset grows again.
+  // clear() keeps each children list's capacity — the whole point.
+  for (MemberState& m : members_) {
+    m.children.clear();
+    m.child_dists.clear();
+    m.parent = kInvalidHost;
+    m.grandparent = kInvalidHost;
+    m.alive = false;
+    m.degree_limit = 0;
+  }
+  flood_.assign(num_hosts);
+  num_hosts_ = num_hosts;
+  limit1_alive_ = 0;
+}
+
 void Membership::activate(HostId h, int degree_limit) {
+  VDM_REQUIRE(h < num_hosts_);
   MemberState& m = members_.at(h);
   VDM_REQUIRE_MSG(!m.alive, "activate() on a member that is already alive");
   VDM_REQUIRE_MSG(degree_limit >= 1, "paper assumes degree limit >= 1");
-  m = MemberState{};
+  // In-place reset (not `m = MemberState{}`): keeps the children list's
+  // capacity, so a host that churns in and out re-joins allocation-free.
+  m.children.clear();
+  m.child_dists.clear();
+  m.parent = kInvalidHost;
+  m.grandparent = kInvalidHost;
   m.alive = true;
   m.degree_limit = degree_limit;
+  flood_.reset_host(h);
   if (degree_limit == 1) ++limit1_alive_;
 }
 
 std::vector<HostId> Membership::deactivate(HostId h) {
+  std::vector<HostId> orphans;
+  deactivate(h, orphans);
+  return orphans;
+}
+
+void Membership::deactivate(HostId h, std::vector<HostId>& orphans_out) {
   MemberState& m = members_.at(h);
   VDM_REQUIRE(m.alive);
   if (m.parent != kInvalidHost) detach(h);
-  std::vector<HostId> orphans = m.children;
-  for (const HostId c : orphans) {
+  orphans_out.clear();
+  orphans_out.insert(orphans_out.end(), m.children.begin(), m.children.end());
+  for (const HostId c : orphans_out) {
     MemberState& cm = members_.at(c);
     cm.parent = kInvalidHost;
     // The orphan remembers its grandparent: that is where reconnection
     // starts (§3.3). Do not clear cm.grandparent here.
   }
   m.children.clear();
-  m.child_dist.clear();
+  m.child_dists.clear();
   m.alive = false;
   if (m.degree_limit == 1) --limit1_alive_;
-  return orphans;
 }
 
 void Membership::attach(HostId child, HostId parent, double measured_dist,
@@ -48,7 +106,7 @@ void Membership::attach(HostId child, HostId parent, double measured_dist,
   VDM_REQUIRE(measured_dist >= 0.0);
 
   pm.children.push_back(child);
-  pm.child_dist[child] = measured_dist;
+  pm.child_dists.push_back(measured_dist);
   cm.parent = parent;
   cm.grandparent = pm.parent;
   refresh_grandparent_of_children(child);
@@ -60,8 +118,10 @@ void Membership::detach(HostId child) {
   MemberState& pm = members_.at(cm.parent);
   const auto it = std::find(pm.children.begin(), pm.children.end(), child);
   VDM_REQUIRE_MSG(it != pm.children.end(), "parent/child pointers out of sync");
+  // Order-preserving erase of both parallel entries: sibling order is part
+  // of the determinism contract (orphans reconnect in child order).
+  pm.child_dists.erase(pm.child_dists.begin() + (it - pm.children.begin()));
   pm.children.erase(it);
-  pm.child_dist.erase(child);
   cm.parent = kInvalidHost;
   cm.grandparent = kInvalidHost;
   // Children of `child` now have a detached parent; their grandparent
@@ -76,20 +136,22 @@ void Membership::move_child(HostId child, HostId new_parent, double measured_dis
   attach(child, new_parent, measured_dist, allow_full);
 }
 
+std::size_t Membership::child_index(const MemberState& pm, HostId child) const {
+  const auto it = std::find(pm.children.begin(), pm.children.end(), child);
+  VDM_REQUIRE_MSG(it != pm.children.end(), "no stored distance for this edge");
+  return static_cast<std::size_t>(it - pm.children.begin());
+}
+
 double Membership::stored_child_distance(HostId parent, HostId child) const {
   const MemberState& pm = members_.at(parent);
-  const auto it = pm.child_dist.find(child);
-  VDM_REQUIRE_MSG(it != pm.child_dist.end(), "no stored distance for this edge");
-  return it->second;
+  return pm.child_dists[child_index(pm, child)];
 }
 
 void Membership::update_child_distance(HostId parent, HostId child,
                                        double measured_dist) {
   VDM_REQUIRE(measured_dist >= 0.0);
   MemberState& pm = members_.at(parent);
-  const auto it = pm.child_dist.find(child);
-  VDM_REQUIRE_MSG(it != pm.child_dist.end(), "no stored distance for this edge");
-  it->second = measured_dist;
+  pm.child_dists[child_index(pm, child)] = measured_dist;
 }
 
 bool Membership::subtree_has_capacity(HostId root, HostId exclude) const {
@@ -123,7 +185,7 @@ std::vector<HostId> Membership::root_path(HostId node) const {
   for (HostId at = members_.at(node).parent; at != kInvalidHost;
        at = members_.at(at).parent) {
     path.push_back(at);
-    VDM_REQUIRE_MSG(path.size() <= members_.size(), "cycle in parent pointers");
+    VDM_REQUIRE_MSG(path.size() <= num_hosts_, "cycle in parent pointers");
   }
   return path;
 }
@@ -133,14 +195,14 @@ std::size_t Membership::depth(HostId node) const {
   for (HostId at = node; members_.at(at).parent != kInvalidHost;
        at = members_.at(at).parent) {
     ++d;
-    VDM_REQUIRE_MSG(d <= members_.size(), "cycle in parent pointers");
+    VDM_REQUIRE_MSG(d <= num_hosts_, "cycle in parent pointers");
   }
   return d;
 }
 
 std::vector<HostId> Membership::alive_members() const {
   std::vector<HostId> out;
-  for (HostId h = 0; h < members_.size(); ++h) {
+  for (HostId h = 0; h < num_hosts_; ++h) {
     if (members_[h].alive) out.push_back(h);
   }
   return out;
@@ -155,13 +217,22 @@ std::vector<HostId> Membership::subtree(HostId root) const {
   return out;
 }
 
+std::size_t Membership::capacity_bytes() const {
+  std::size_t bytes = members_.capacity() * sizeof(MemberState);
+  for (const MemberState& m : members_) {
+    bytes += m.children.capacity() * sizeof(HostId) +
+             m.child_dists.capacity() * sizeof(double);
+  }
+  return bytes + flood_.capacity_bytes();
+}
+
 void Membership::refresh_grandparent_of_children(HostId node) {
   const MemberState& m = members_.at(node);
   for (const HostId c : m.children) members_.at(c).grandparent = m.parent;
 }
 
 void Membership::validate() const {
-  for (HostId h = 0; h < members_.size(); ++h) {
+  for (HostId h = 0; h < num_hosts_; ++h) {
     const MemberState& m = members_[h];
     if (!m.alive) {
       VDM_REQUIRE_MSG(m.children.empty() && m.parent == kInvalidHost,
@@ -170,7 +241,7 @@ void Membership::validate() const {
     }
     VDM_REQUIRE_MSG(m.overlay_links() <= m.degree_limit,
                     "degree limit exceeded (children + parent link > limit)");
-    VDM_REQUIRE_MSG(m.child_dist.size() == m.children.size(),
+    VDM_REQUIRE_MSG(m.child_dists.size() == m.children.size(),
                     "child distance table out of sync");
     for (const HostId c : m.children) {
       VDM_REQUIRE_MSG(members_.at(c).alive, "dead child in children list");
@@ -183,7 +254,6 @@ void Membership::validate() const {
         VDM_REQUIRE_MSG(members_.at(c).grandparent == m.parent,
                         "grandparent pointer stale");
       }
-      VDM_REQUIRE_MSG(m.child_dist.count(c) == 1, "missing stored distance");
     }
     if (m.parent != kInvalidHost) {
       const auto& pc = members_.at(m.parent).children;

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "net/types.hpp"
@@ -15,42 +14,26 @@ using net::kInvalidHost;
 /// parent, grandparent, children and the measured virtual distance to each
 /// child (§3.2: "Each node has children list and distances to them. They
 /// also know their parent and grandparent.").
+///
+/// This struct is tree structure only. The data-plane flood fields that
+/// used to lead it (receiving_since, uplink-loss memo, chunk counters) live
+/// in Membership's FloodTable as parallel per-host arrays instead: the
+/// chunk flood, heartbeat sweeps and TreeWalk child enumeration then stream
+/// contiguous cache lines rather than chasing 100k+ scattered MemberStates,
+/// and MemberState itself shrinks to about one cache line.
 struct MemberState {
-  // Field order is data-plane-first: the chunk flood touches
-  // receiving_since, the chunk counters and the children list for every
-  // overlay edge of every chunk, so they share the leading cache line;
-  // control-plane state (and the cold child_dist map) follows.
-
-  /// When the member (re)gained a working path to the source. Data chunks
-  /// arriving earlier are not deliverable to it (join/reconnect outage).
-  sim::Time receiving_since = 0.0;
-
-  /// When the member first completed its initial join of the current stint
-  /// (chunks are *expected* from this point; see the loss metric).
-  sim::Time in_session_since = 0.0;
-
-  /// Memoized drop probability of the uplink from `uplink_loss_parent`.
-  /// Refreshed lazily when the flood sees a different parent; sound because
-  /// the underlay is immutable once a session streams.
-  double uplink_loss = 0.0;
-  HostId uplink_loss_parent = kInvalidHost;
-
-  // Data-plane accounting for the loss-rate metric. 32-bit: even day-long
-  // sessions emit far fewer than 4G chunks per member, and the narrower
-  // counters keep every flood-touched field inside one cache line.
-  std::uint32_t chunks_expected = 0;
-  std::uint32_t chunks_received = 0;
-
   std::vector<HostId> children;
+  /// Virtual distance to children[i] as measured when it connected (the
+  /// state a parent reports in info responses). Parallel to `children`;
+  /// with degree limits of 2..5 a linear scan beats any map, and the
+  /// vector's capacity survives churn where a node-based map's does not.
+  std::vector<double> child_dists;
 
   HostId parent = kInvalidHost;
   HostId grandparent = kInvalidHost;
   bool alive = false;
   /// Maximum number of children this node will feed (uplink capacity).
   int degree_limit = 0;
-  /// Virtual distance to each child, keyed by child id, as measured when
-  /// the child connected (the state a parent reports in info responses).
-  std::unordered_map<HostId, double> child_dist;
 
   /// Number of overlay links this member currently holds: its children plus
   /// its own uplink. DESIGN.md invariant 2 bounds *links*, not children —
@@ -64,6 +47,35 @@ struct MemberState {
   bool is_root() const { return alive && parent == kInvalidHost; }
 };
 
+/// Hot data-plane member state in struct-of-arrays layout, indexed by host.
+/// Session::emit_chunk touches these fields for every overlay edge of every
+/// chunk — the hottest loop of a run — so each field is its own contiguous
+/// array and an edge visit costs a handful of streamed loads instead of a
+/// random 136-byte struct fetch.
+struct FloodTable {
+  /// When the member (re)gained a working path to the source. Data chunks
+  /// arriving earlier are not deliverable to it (join/reconnect outage).
+  std::vector<sim::Time> receiving_since;
+  /// When the member first completed its initial join of the current stint
+  /// (chunks are *expected* from this point; see the loss metric).
+  std::vector<sim::Time> in_session_since;
+  /// Memoized drop probability of the uplink from uplink_loss_parent[h],
+  /// refreshed lazily when the flood sees a different parent; sound because
+  /// the underlay is immutable once a session streams.
+  std::vector<double> uplink_loss;
+  std::vector<HostId> uplink_loss_parent;
+  /// Data-plane accounting for the loss-rate metric. 32-bit: even day-long
+  /// sessions emit far fewer than 4G chunks per member.
+  std::vector<std::uint32_t> chunks_expected;
+  std::vector<std::uint32_t> chunks_received;
+
+  /// Sizes every array to `n` hosts and zeroes it (capacity kept).
+  void assign(std::size_t n);
+  /// Resets host `h` to the just-activated state.
+  void reset_host(HostId h);
+  std::size_t capacity_bytes() const;
+};
+
 /// The overlay tree: owns all MemberStates and keeps parent / child /
 /// grandparent pointers mutually consistent through every mutation.
 ///
@@ -72,9 +84,16 @@ struct MemberState {
 /// acyclicity) are enforced in one place and are cheap to audit (validate()).
 class Membership {
  public:
-  explicit Membership(std::size_t num_hosts) : members_(num_hosts) {}
+  explicit Membership(std::size_t num_hosts) { reset(num_hosts); }
 
-  std::size_t num_hosts() const { return members_.size(); }
+  /// Rebinds the tree to `num_hosts` hosts with every member detached and
+  /// dead, reusing all existing storage (member slots, children capacity,
+  /// flood arrays). A reset Membership is observably identical to a freshly
+  /// constructed one — this is what lets a RunScratch shuttle one tree
+  /// through consecutive runs with zero steady-state allocations.
+  void reset(std::size_t num_hosts);
+
+  std::size_t num_hosts() const { return num_hosts_; }
   const MemberState& member(HostId h) const { return members_.at(h); }
   MemberState& mutable_member(HostId h) { return members_.at(h); }
 
@@ -83,6 +102,11 @@ class Membership {
   const MemberState& member_unchecked(HostId h) const { return members_[h]; }
   MemberState& mutable_member_unchecked(HostId h) { return members_[h]; }
 
+  /// The SoA data-plane state (see FloodTable). Arrays are indexed by host
+  /// and sized num_hosts().
+  FloodTable& flood() { return flood_; }
+  const FloodTable& flood() const { return flood_; }
+
   /// Marks `h` alive with the given child capacity; it joins detached.
   void activate(HostId h, int degree_limit);
 
@@ -90,6 +114,10 @@ class Membership {
   /// left orphaned (parent = invalid) for the protocol to reconnect.
   /// Returns the orphaned children.
   std::vector<HostId> deactivate(HostId h);
+
+  /// Allocation-free variant: the orphans land in `orphans_out` (cleared
+  /// first) — the per-departure call sites reuse one scratch buffer.
+  void deactivate(HostId h, std::vector<HostId>& orphans_out);
 
   /// Connects `child` (alive, currently detached) under `parent` (alive,
   /// with free degree unless `allow_full`). Records the measured virtual
@@ -139,6 +167,10 @@ class Membership {
   /// Members reachable from `root` through parent pointers, including root.
   std::vector<HostId> subtree(HostId root) const;
 
+  /// Heap bytes reserved by member slots, children lists and flood arrays
+  /// (RunScratch arena accounting).
+  std::size_t capacity_bytes() const;
+
   /// Throws InvariantError if any structural invariant is violated:
   /// consistent parent/child pointers, degree bounds, no cycles,
   /// grandparent pointers correct, distances stored for every edge.
@@ -146,8 +178,15 @@ class Membership {
 
  private:
   void refresh_grandparent_of_children(HostId node);
+  /// Index of `child` in `parent`'s children list; throws if absent.
+  std::size_t child_index(const MemberState& pm, HostId child) const;
 
+  /// May exceed num_hosts_ after a reset to a smaller pool: slots keep
+  /// their children capacity for the next large run instead of being
+  /// destroyed. Only [0, num_hosts_) is addressable through the API.
   std::vector<MemberState> members_;
+  FloodTable flood_;
+  std::size_t num_hosts_ = 0;
   /// Count of alive members with degree_limit == 1. Such members are the
   /// only ones that can be saturated leaves (limit >= 2 leaves always have
   /// a free slot), so subtree_has_capacity() short-circuits to true while

@@ -25,13 +25,19 @@ void Session::swap_walk_scratch(std::unique_ptr<WalkScratch>& other) {
   std::swap(walk_scratch_, other);
 }
 
+void Session::swap_tree_storage(std::unique_ptr<Membership>& other) {
+  if (!other) other = std::make_unique<Membership>(2);
+  std::swap(tree_, *other);
+  tree_.reset(underlay_.num_hosts());
+}
+
 Session::~Session() { stop(); }
 
 void Session::start() {
   VDM_REQUIRE_MSG(!started_, "start() called twice");
   started_ = true;
   tree_.activate(params_.source, params_.source_degree_limit);
-  tree_.mutable_member(params_.source).in_session_since = sim_.now();
+  tree_.flood().in_session_since[params_.source] = sim_.now();
   if (params_.data_plane) {
     stream_timer_ = std::make_unique<sim::Periodic>(
         sim_, 1.0 / params_.chunk_rate, [this] { emit_chunk(); });
@@ -53,7 +59,7 @@ TimingRecord Session::join(net::HostId h, int degree_limit) {
   VDM_REQUIRE_MSG(h != params_.source, "the source does not join");
   tree_.activate(h, degree_limit);
   const TimingRecord rec = run_join(h, params_.source, /*is_reconnect=*/false);
-  tree_.mutable_member(h).in_session_since = sim_.now() + rec.duration;
+  tree_.flood().in_session_since[h] = sim_.now() + rec.duration;
   if (protocol_.wants_refinement()) arm_refinement(h);
   if (params_.paranoid_checks) tree_.validate();
   return rec;
@@ -77,7 +83,7 @@ TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconne
 
   // The node (and transitively its subtree, which the data plane blocks
   // through this node) starts receiving once the join handshake finishes.
-  tree_.mutable_member(h).receiving_since = sim_.now() + stats.elapsed;
+  tree_.flood().receiving_since[h] = sim_.now() + stats.elapsed;
 
   if (is_reconnect) {
     reconnect_records_.push_back(rec);
@@ -120,12 +126,12 @@ void Session::leave(net::HostId h) {
   disarm_refinement(h);
   disarm_heartbeat(h);
   forget_crash_orphan(h);
-  const std::vector<net::HostId> orphans = tree_.deactivate(h);
+  tree_.deactivate(h, orphan_scratch_);
 
   // Each orphan reconnects on its own, starting at its grandparent if that
   // node is still alive, else at the source (§3.3). Orphans act in child
   // order — deterministic, and equivalent to near-simultaneous recovery.
-  for (const net::HostId orphan : orphans) {
+  for (const net::HostId orphan : orphan_scratch_) {
     run_join(orphan, reconnect_start(orphan), /*is_reconnect=*/true);
   }
   if (params_.paranoid_checks) tree_.validate();
@@ -142,13 +148,13 @@ void Session::crash(net::HostId h) {
   disarm_refinement(h);
   disarm_heartbeat(h);
   forget_crash_orphan(h);  // h may itself still be an undetected orphan
-  const std::vector<net::HostId> orphans = tree_.deactivate(h);
+  tree_.deactivate(h, orphan_scratch_);
 
   if (params_.faults.heartbeat_period <= 0.0) {
     // No failure detector configured: model instant detection, i.e. the
     // orphans reconnect immediately as after a graceful leave (but the
     // crashed node still paid no notification messages).
-    for (const net::HostId orphan : orphans) {
+    for (const net::HostId orphan : orphan_scratch_) {
       run_join(orphan, reconnect_start(orphan), /*is_reconnect=*/true);
     }
     if (params_.paranoid_checks) tree_.validate();
@@ -160,7 +166,7 @@ void Session::crash(net::HostId h) {
   // streak plus timeout elapses. Until then the data plane counts their
   // subtrees as expecting-but-not-receiving (see emit_chunk).
   const sim::Time now = sim_.now();
-  for (const net::HostId orphan : orphans) {
+  for (const net::HostId orphan : orphan_scratch_) {
     HeartbeatState& hb = heartbeats_.at(orphan);
     hb.orphaned = true;
     hb.orphaned_at = now;
@@ -403,13 +409,16 @@ void Session::emit_chunk() {
   // This is the hottest loop of a whole run (every overlay edge, every
   // chunk), so it runs allocation-free on reusable scratch, memoizes each
   // child's uplink loss, and accumulates session counters in locals. All
-  // per-member state the flood reads lives on MemberState's leading cache
-  // line, so each edge costs one random memory access. Leaves are never
-  // pushed, and the rng draw order matches the naive traversal exactly
-  // (skipped leaf frames drew nothing), preserving determinism.
+  // per-member state the flood touches lives in the Membership FloodTable's
+  // parallel arrays (SoA), so at 100k+ members an edge visit streams a few
+  // contiguous cache lines instead of fetching a scattered member struct.
+  // Leaves are never pushed, and the rng draw order matches the naive
+  // traversal exactly (skipped leaf frames drew nothing), preserving
+  // determinism.
   std::uint64_t transmissions = 0;
   std::uint64_t expected = 0;
   std::uint64_t delivered_total = 0;
+  FloodTable& fl = tree_.flood();
 
   chunk_stack_.clear();
   chunk_stack_.push_back({params_.source, true});
@@ -417,30 +426,31 @@ void Session::emit_chunk() {
     const ChunkFrame f = chunk_stack_.back();
     chunk_stack_.pop_back();
     for (const net::HostId c : tree_.member_unchecked(f.host).children) {
-      MemberState& cm = tree_.mutable_member_unchecked(c);
       bool delivered = false;
       if (f.delivered) {
         ++transmissions;
         // A playout buffer forgives outages that end within buffer_seconds:
         // the chunk is recovered from the new parent before playback needs
         // it, so the viewer never sees the gap.
-        if (buffered_now >= cm.receiving_since) {
-          if (cm.uplink_loss_parent != f.host) {
-            cm.uplink_loss_parent = f.host;
-            cm.uplink_loss = underlay_.loss(f.host, c);
+        if (buffered_now >= fl.receiving_since[c]) {
+          if (fl.uplink_loss_parent[c] != f.host) {
+            fl.uplink_loss_parent[c] = f.host;
+            fl.uplink_loss[c] = underlay_.loss(f.host, c);
           }
-          delivered = !rng_.chance(cm.uplink_loss);
+          delivered = !rng_.chance(fl.uplink_loss[c]);
         }
       }
-      if (now >= cm.in_session_since) {
-        ++cm.chunks_expected;
+      if (now >= fl.in_session_since[c]) {
+        ++fl.chunks_expected[c];
         ++expected;
         if (delivered) {
-          ++cm.chunks_received;
+          ++fl.chunks_received[c];
           ++delivered_total;
         }
       }
-      if (!cm.children.empty()) chunk_stack_.push_back({c, delivered});
+      if (!tree_.member_unchecked(c).children.empty()) {
+        chunk_stack_.push_back({c, delivered});
+      }
     }
   }
 
@@ -453,12 +463,13 @@ void Session::emit_chunk() {
     while (!chunk_stack_.empty()) {
       const ChunkFrame f = chunk_stack_.back();
       chunk_stack_.pop_back();
-      MemberState& om = tree_.mutable_member_unchecked(f.host);
-      if (now >= om.in_session_since) {
-        ++om.chunks_expected;
+      if (now >= fl.in_session_since[f.host]) {
+        ++fl.chunks_expected[f.host];
         ++expected;
       }
-      for (const net::HostId c : om.children) chunk_stack_.push_back({c, false});
+      for (const net::HostId c : tree_.member_unchecked(f.host).children) {
+        chunk_stack_.push_back({c, false});
+      }
     }
   }
 

@@ -173,6 +173,15 @@ class Session {
   /// `other` is populated with a fresh scratch first.
   void swap_walk_scratch(std::unique_ptr<WalkScratch>& other);
 
+  /// Arena shuttle for the member tables: swaps the session's Membership
+  /// storage (member slots, children capacities, SoA flood arrays) with
+  /// `other` and resets the incoming tree to this underlay's host count —
+  /// observably identical to a fresh tree, but reusing every buffer the
+  /// previous run grew. A null `other` is populated first. Call before
+  /// start() to adopt warm storage and again after the run (once the tree
+  /// has been read for final metrics) to return it.
+  void swap_tree_storage(std::unique_ptr<Membership>& other);
+
   // --- counters for the metrics layer ------------------------------------
   struct Counters {
     std::uint64_t control_messages = 0;
@@ -274,6 +283,12 @@ class Session {
   /// simulated second, so a fresh vector per chunk would dominate the data
   /// plane's allocation profile.
   std::vector<ChunkFrame> chunk_stack_;
+
+  /// Reusable orphan list for leave()/crash(): departures happen every
+  /// churn slot, so the per-departure deactivate() result reuses one
+  /// buffer. Never re-entered — each departure is a top-level sim event and
+  /// the rejoin path below it never deactivates.
+  std::vector<net::HostId> orphan_scratch_;
 
   Counters window_;
   Counters totals_;

@@ -1,0 +1,116 @@
+// Steady-state allocation budget for arena run_once. The RunScratch arena
+// eliminated per-run scaffolding (topology, underlay, collector, walk
+// buffers, membership tree); what remains is a small fixed set of per-run
+// constructions (Session internals, protocol/metric objects, simulator
+// warm-up). This test pins that remainder with a hard ceiling so a future
+// change that quietly reintroduces per-member or per-event allocations
+// fails loudly instead of showing up as a bench regression months later.
+//
+// The global-new counter mirrors bench/bench_e2e.cpp. gtest itself
+// allocates (assertion bookkeeping), so the measured window contains only
+// the run_once call, and the budget leaves roughly 3x headroom over the
+// observed steady state.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "experiments/runner.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace vdm::experiments {
+namespace {
+
+RunConfig paper_config() {
+  RunConfig cfg;
+  cfg.substrate = Substrate::kTransitStub;
+  cfg.protocol = Proto::kVdm;
+  cfg.scenario.target_members = 200;  // the paper's headline overlay size
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(AllocBudget, SteadyStateArenaRunStaysUnderBudget) {
+  RunScratch scratch;
+  const RunConfig cfg = paper_config();
+  // Two warm runs: the first builds every arena buffer, the second settles
+  // capacities that only converge after the shape has been seen once
+  // (e.g. children lists sized by the observed churn).
+  (void)run_once(cfg, scratch);
+  (void)run_once(cfg, scratch);
+  const std::uint64_t grows_before = scratch.grow_events();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  const RunResult r = run_once(cfg, scratch);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - before;
+
+  EXPECT_GT(r.final_members, 0u);
+  EXPECT_EQ(scratch.grow_events(), grows_before)
+      << "a warm arena grew during a repeat run of the same shape";
+  // Fixed per-run constructions only — independent of member count, churn
+  // volume and chunk count. Observed steady state is ~320 (Session
+  // internals, protocol/metric objects, timing-record handoff); budget is
+  // ~3x that, an order of magnitude below the pre-arena ~1.8k.
+  constexpr std::uint64_t kBudget = 1000;
+  EXPECT_LE(allocs, kBudget)
+      << "steady-state run_once allocated " << allocs
+      << " times; per-member or per-event allocation crept back in";
+}
+
+TEST(AllocBudget, CoordSubstrateStaysUnderBudgetToo) {
+  // Same gate on the coordinate substrate: its underlay rebind is two
+  // vector refills, so the steady state must match the graph substrate's.
+  RunScratch scratch;
+  RunConfig cfg = paper_config();
+  cfg.substrate = Substrate::kCoordPlane;
+  cfg.compute_mst_ratio = false;
+  (void)run_once(cfg, scratch);
+  (void)run_once(cfg, scratch);
+  const std::uint64_t grows_before = scratch.grow_events();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  (void)run_once(cfg, scratch);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(scratch.grow_events(), grows_before);
+  constexpr std::uint64_t kBudget = 1000;  // observed ~150: no matrix refill
+  EXPECT_LE(allocs, kBudget);
+}
+
+}  // namespace
+}  // namespace vdm::experiments

@@ -1,0 +1,203 @@
+// CoordUnderlay: the coordinate-embedded substrate's metric properties and
+// arena-reuse contract. Delay here is pure arithmetic over endpoint
+// coordinates, so the tests pin the properties protocols implicitly rely
+// on — symmetry (probes measure the same RTT in both directions), zero
+// self-distance, and the triangle inequality (a relay can never beat the
+// direct path) — plus the release/rebind roundtrip and a run_once smoke.
+
+#include "net/coord_underlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "topology/coord.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace vdm::net {
+namespace {
+
+/// World-wide geo placements: the widest coordinate spread the generators
+/// produce (antipodal-ish pairs, longitude wraps) — the adversarial input
+/// for the spherical metric.
+CoordUnderlay world_underlay(std::size_t n, std::uint64_t seed = 11) {
+  topo::CoordParams cp;
+  cp.num_hosts = n;
+  cp.space = topo::CoordSpace::kGeo;
+  cp.regions = topo::world_regions();
+  util::Rng rng(seed);
+  return topo::make_coord(cp, rng);
+}
+
+TEST(CoordUnderlay, SelfDelayIsExactlyZero) {
+  const CoordUnderlay u = world_underlay(64);
+  for (HostId h = 0; h < u.num_hosts(); ++h) {
+    EXPECT_EQ(u.delay(h, h), 0.0);
+    EXPECT_EQ(u.loss(h, h), 0.0);
+  }
+}
+
+TEST(CoordUnderlay, DelayIsSymmetricBitwise) {
+  const CoordUnderlay u = world_underlay(64);
+  for (HostId a = 0; a < u.num_hosts(); ++a) {
+    for (HostId b = a + 1; b < u.num_hosts(); ++b) {
+      // Exact equality: both directions evaluate the same arithmetic on the
+      // same operands, and probe code relies on d(a,b) == d(b,a) bit for bit.
+      EXPECT_EQ(u.delay(a, b), u.delay(b, a)) << a << " -> " << b;
+    }
+  }
+}
+
+TEST(CoordUnderlay, DelayIsPositiveAndFloored) {
+  const CoordUnderlay u = world_underlay(64);
+  for (HostId a = 0; a < u.num_hosts(); ++a) {
+    for (HostId b = 0; b < u.num_hosts(); ++b) {
+      if (a == b) continue;
+      EXPECT_GE(u.delay(a, b), u.params().min_delay);
+    }
+  }
+}
+
+TEST(CoordUnderlay, TriangleInequalityOnGeoInputs) {
+  // Great-circle distance is a metric and both the constant inflation and
+  // the max(min_delay, .) floor preserve subadditivity:
+  //   max(m, r1 + r2) <= max(m, r1) + max(m, r2).
+  // Tolerance covers only floating-point rounding of the asin/sqrt chain.
+  const CoordUnderlay u = world_underlay(24);
+  const std::size_t n = u.num_hosts();
+  for (HostId a = 0; a < n; ++a) {
+    for (HostId b = 0; b < n; ++b) {
+      for (HostId c = 0; c < n; ++c) {
+        const double direct = u.delay(a, c);
+        const double relayed = u.delay(a, b) + u.delay(b, c);
+        EXPECT_LE(direct, relayed + 1e-12)
+            << "detour via " << b << " beat direct " << a << " -> " << c;
+      }
+    }
+  }
+}
+
+TEST(CoordUnderlay, EuclideanDelayMatchesHandComputation) {
+  CoordUnderlay::Params p;
+  p.space = CoordUnderlay::Space::kEuclidean;
+  // 3-4-5 triangle in km: hosts at (0,0), (300,400) -> 500 km apart.
+  const CoordUnderlay u(p, {0.0, 300.0}, {0.0, 400.0});
+  EXPECT_NEAR(u.delay(0, 1), 500.0 * p.inflation / p.propagation_kms, 1e-15);
+  EXPECT_EQ(u.rtt(0, 1), 2.0 * u.delay(0, 1));
+}
+
+TEST(CoordUnderlay, MinDelayFloorsShortHops) {
+  CoordUnderlay::Params p;
+  p.space = CoordUnderlay::Space::kEuclidean;
+  p.min_delay = 0.01;
+  // 1 km apart: raw propagation would be ~9.5 microseconds, far under the
+  // floor.
+  const CoordUnderlay u(p, {0.0, 1.0}, {0.0, 0.0});
+  EXPECT_EQ(u.delay(0, 1), 0.01);
+  EXPECT_EQ(u.delay(0, 0), 0.0);  // the floor never applies to self
+}
+
+TEST(CoordUnderlay, NoLinksNoPathsUniformLoss) {
+  CoordUnderlay::Params p;
+  p.loss = 0.25;
+  const CoordUnderlay u(p, {10.0, 20.0, 30.0}, {0.0, 5.0, 10.0});
+  EXPECT_EQ(u.num_links(), 0u);
+  EXPECT_TRUE(u.path(0, 2).empty());
+  int visits = 0;
+  u.for_each_path_link(0, 2, [&](LinkId) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(u.loss(0, 2), 0.25);
+  EXPECT_EQ(u.loss(2, 2), 0.0);
+}
+
+TEST(CoordUnderlay, RejectsMalformedInputs) {
+  const CoordUnderlay::Params ok;
+  EXPECT_THROW(CoordUnderlay(ok, {1.0, 2.0}, {1.0}), util::InvariantError);
+  EXPECT_THROW(CoordUnderlay(ok, {1.0}, {1.0}), util::InvariantError);
+  CoordUnderlay::Params bad_loss;
+  bad_loss.loss = 1.0;  // certain loss would deadlock every session
+  EXPECT_THROW(CoordUnderlay(bad_loss, {1.0, 2.0}, {3.0, 4.0}),
+               util::InvariantError);
+  CoordUnderlay::Params bad_floor;
+  bad_floor.min_delay = -1.0;
+  EXPECT_THROW(CoordUnderlay(bad_floor, {1.0, 2.0}, {3.0, 4.0}),
+               util::InvariantError);
+}
+
+TEST(CoordUnderlay, ReleaseRebindRoundtripPreservesDelays) {
+  topo::CoordParams cp;
+  cp.num_hosts = 32;
+  cp.space = topo::CoordSpace::kGeo;
+  cp.regions = topo::world_regions();
+  util::Rng rng(5);
+  std::vector<double> x, y;
+  topo::make_coord_into(cp, rng, x, y);
+  const std::vector<double> x_copy = x;
+  const std::vector<double> y_copy = y;
+
+  CoordUnderlay::Params p;  // spherical
+  CoordUnderlay u(p, std::move(x), std::move(y));
+  std::vector<std::pair<HostId, double>> before;
+  for (HostId b = 1; b < u.num_hosts(); ++b) before.emplace_back(b, u.delay(0, b));
+
+  std::vector<double> rx, ry;
+  u.release(rx, ry);
+  EXPECT_EQ(rx, x_copy);  // release hands back the exact coordinates
+  EXPECT_EQ(ry, y_copy);
+  u.rebind(p, std::move(rx), std::move(ry));
+  ASSERT_EQ(u.num_hosts(), cp.num_hosts);
+  for (const auto& [b, d] : before) {
+    EXPECT_EQ(u.delay(0, b), d);  // bitwise: same arithmetic, same operands
+  }
+  EXPECT_GT(u.arena_capacity_bytes(), 0u);
+}
+
+TEST(CoordUnderlay, RunOnceCoordSubstrateSmoke) {
+  // End to end on the coordinate substrate: the flood floods, members join,
+  // stress is identically zero (no links to stress) and stretch is a valid
+  // ratio against the direct coordinate distance.
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kCoordWorld;
+  cfg.scenario.target_members = 48;
+  cfg.scenario.join_phase = 200.0;
+  cfg.scenario.total_time = 1000.0;
+  cfg.scenario.churn_interval = 200.0;
+  cfg.scenario.settle_time = 50.0;
+  cfg.scenario.churn_rate = 0.1;
+  cfg.seed = 3;
+  const experiments::RunResult r = experiments::run_once(cfg);
+  EXPECT_EQ(r.stress, 0.0);
+  EXPECT_EQ(r.stress_max, 0.0);
+  EXPECT_GE(r.stretch, 1.0);
+  EXPECT_GT(r.hopcount, 0.0);
+  EXPECT_GT(r.final_members, 0u);
+  EXPECT_GT(r.mst_ratio, 0.0);  // computed by default at this size
+}
+
+TEST(CoordUnderlay, MstRatioKnobSkipsTheBaseline) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kCoordPlane;
+  cfg.scenario.target_members = 32;
+  cfg.scenario.join_phase = 200.0;
+  cfg.scenario.total_time = 600.0;
+  cfg.scenario.churn_interval = 200.0;
+  cfg.scenario.settle_time = 50.0;
+  cfg.seed = 3;
+  cfg.compute_mst_ratio = false;
+  const experiments::RunResult off = experiments::run_once(cfg);
+  EXPECT_EQ(off.mst_ratio, 1.0);
+  cfg.compute_mst_ratio = true;
+  const experiments::RunResult on = experiments::run_once(cfg);
+  EXPECT_GE(on.mst_ratio, 1.0);
+  // Everything except the mst_ratio column is untouched by the knob.
+  EXPECT_EQ(off.loss, on.loss);
+  EXPECT_EQ(off.stretch, on.stretch);
+  EXPECT_EQ(off.final_members, on.final_members);
+}
+
+}  // namespace
+}  // namespace vdm::net

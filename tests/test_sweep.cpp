@@ -134,7 +134,8 @@ TEST(Sweep, IdenticalPointsProduceIdenticalAggregates) {
 TEST(Sweep, ArenaRunsMatchFreshRunsBitwise) {
   RunScratch scratch;
   for (const Substrate substrate :
-       {Substrate::kTransitStub, Substrate::kWaxman, Substrate::kGeoUs}) {
+       {Substrate::kTransitStub, Substrate::kWaxman, Substrate::kGeoUs,
+        Substrate::kCoordUs, Substrate::kCoordPlane}) {
     RunConfig cfg = small_config();
     cfg.substrate = substrate;
     const RunResult warm = run_once(cfg, scratch);  // same scratch across substrates
@@ -165,7 +166,8 @@ TEST(Sweep, ArenaGrowsAcrossShapesThenSettles) {
   RunScratch scratch;
   const auto cycle = [&scratch] {
     for (const Substrate substrate :
-         {Substrate::kTransitStub, Substrate::kWaxman, Substrate::kGeoUs}) {
+         {Substrate::kTransitStub, Substrate::kWaxman, Substrate::kGeoUs,
+          Substrate::kCoordUs, Substrate::kCoordPlane}) {
       for (std::uint64_t seed = 3; seed < 6; ++seed) {
         RunConfig cfg = small_config();
         cfg.substrate = substrate;

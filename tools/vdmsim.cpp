@@ -29,9 +29,13 @@ int usage() {
   std::cout <<
       "vdmsim — Virtual Direction Multicast experiment driver\n\n"
       "  --protocol   vdm | vdm-r | hmtp | btp | random     (default vdm)\n"
-      "  --substrate  transit-stub | waxman | geo-us | geo-world (default transit-stub)\n"
+      "  --underlay   transit-stub | waxman | geo-us | geo-world |\n"
+      "               coord-us | coord-world | coord-plane   (default transit-stub)\n"
+      "               (--substrate is an accepted alias; coord-* underlays\n"
+      "               compute delay O(1) from coordinates — use them for\n"
+      "               large overlays, e.g. --underlay coord-plane --nodes 65536)\n"
       "  --metric     delay | loss | blend | cached-delay | cached-loss (default delay)\n"
-      "  --members    overlay size                          (default 200)\n"
+      "  --members    overlay size (--nodes is an alias)    (default 200)\n"
       "  --churn      fraction replaced per interval        (default 0.05)\n"
       "  --degree-min / --degree-max  child capacity bounds (default 2 / 5)\n"
       "  --degree-avg fractional average degree (overrides min/max)\n"
@@ -47,6 +51,8 @@ int usage() {
       "  --heartbeat-timeout wait after the last miss, s    (default 0.5)\n"
       "  --control-loss extra loss on control exchanges (enables retries)\n"
       "  --retry-timeout initial retransmission timeout, s  (default 0.25)\n"
+      "  --mst / --no-mst  force the O(N^2) final-tree MST-ratio baseline\n"
+      "               on/off (auto: off above 4096 members)\n"
       "  --seeds      independent repetitions               (default 8)\n"
       "  --seed       base seed                             (default 1)\n"
       "  --threads    worker cap for the seed sweep; 0 = hardware (default 0)\n"
@@ -92,11 +98,16 @@ int main(int argc, char** argv) {
   } else if (proto == "random") {
     cfg.protocol = Proto::kRandom;
   } else {
-    std::cerr << "unknown --protocol '" << proto << "'\n";
+    std::cerr << "unknown --protocol '" << proto << "' (see --help)\n";
     return 2;
   }
 
-  const std::string substrate = flags.get("substrate", "transit-stub");
+  // --underlay is the documented spelling; --substrate stays as an alias so
+  // existing scripts keep working. Unknown values are a hard usage error —
+  // silently falling back to a default would bench the wrong substrate.
+  const std::string substrate = flags.has("underlay")
+                                    ? flags.get("underlay", "transit-stub")
+                                    : flags.get("substrate", "transit-stub");
   if (substrate == "transit-stub") {
     cfg.substrate = Substrate::kTransitStub;
   } else if (substrate == "waxman") {
@@ -105,8 +116,14 @@ int main(int argc, char** argv) {
     cfg.substrate = Substrate::kGeoUs;
   } else if (substrate == "geo-world") {
     cfg.substrate = Substrate::kGeoWorld;
+  } else if (substrate == "coord-us") {
+    cfg.substrate = Substrate::kCoordUs;
+  } else if (substrate == "coord-world") {
+    cfg.substrate = Substrate::kCoordWorld;
+  } else if (substrate == "coord-plane") {
+    cfg.substrate = Substrate::kCoordPlane;
   } else {
-    std::cerr << "unknown --substrate '" << substrate << "'\n";
+    std::cerr << "unknown --underlay '" << substrate << "' (see --help)\n";
     return 2;
   }
 
@@ -122,11 +139,13 @@ int main(int argc, char** argv) {
   } else if (metric == "cached-loss") {
     cfg.metric = Metric::kCachedLoss;
   } else {
-    std::cerr << "unknown --metric '" << metric << "'\n";
+    std::cerr << "unknown --metric '" << metric << "' (see --help)\n";
     return 2;
   }
 
-  cfg.scenario.target_members = static_cast<std::size_t>(flags.get_int("members", 200));
+  cfg.scenario.target_members = static_cast<std::size_t>(
+      flags.has("nodes") ? flags.get_int("nodes", 200)
+                         : flags.get_int("members", 200));
   cfg.scenario.churn_rate = flags.get_double("churn", 0.05);
   cfg.scenario.join_phase = flags.get_double("join-phase", 2000.0);
   cfg.scenario.total_time = flags.get_double("total-time", 10000.0);
@@ -157,6 +176,18 @@ int main(int argc, char** argv) {
   }
   cfg.session.faults.retry_timeout = flags.get_double("retry-timeout", 0.25);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  // The MST-ratio baseline is an O(N^2) Prim pass over the final tree —
+  // fine at paper scale, minutes at coordinate-substrate scale. Auto-off
+  // above 4096 members; --mst / --no-mst override in either direction.
+  cfg.compute_mst_ratio = cfg.scenario.target_members <= 4096;
+  if (flags.get_bool("mst", false)) cfg.compute_mst_ratio = true;
+  if (flags.get_bool("no-mst", false)) cfg.compute_mst_ratio = false;
+  if (!cfg.compute_mst_ratio && !flags.get_bool("no-mst", false) &&
+      !flags.get_bool("quiet", false)) {
+    std::cerr << "note: skipping O(N^2) mst_ratio above 4096 members "
+                 "(--mst forces it)\n";
+  }
 
   const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 8));
 
@@ -203,7 +234,7 @@ int main(int argc, char** argv) {
     row("detection_s", agg.detection_avg);
     row("outage_s", agg.outage_avg);
   }
-  row("mst_ratio", agg.mst_ratio);
+  if (cfg.compute_mst_ratio) row("mst_ratio", agg.mst_ratio);
 
   if (flags.get_bool("csv", false)) {
     t.print_csv(std::cout);
