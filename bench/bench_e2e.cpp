@@ -197,6 +197,59 @@ BENCHMARK(BM_RunOnceCoord)
     ->Arg(65536)
     ->Unit(benchmark::kMillisecond);
 
+/// Flash crowd on the coordinate-embedded US underlay: a 1024-member
+/// steady-state overlay absorbs range(0) simultaneous joiners through the
+/// locating-first concurrent pipeline (DESIGN.md §10). joins_per_sec is the
+/// sustained sim-time throughput of the burst cohort, startup_p99_ms the
+/// tail attach latency. speedup_vs_sequential compares the same burst
+/// through the baseline one-walk-at-a-time path (measured once, outside the
+/// timed loop) — the gate requires >= 3x at 65536. arena_grow_per_iter must
+/// be exactly 0 after the warm run, same contract as BM_RunOnceArena.
+void BM_FlashCrowd(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kCoordUs;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.scenario.target_members = 1024;
+  cfg.scenario.flash_count = static_cast<std::size_t>(state.range(0));
+  cfg.scenario.flash_at = 400.0;
+  cfg.scenario.join_phase = 400.0;
+  cfg.scenario.total_time = 1200.0;
+  cfg.scenario.churn_interval = 200.0;
+  cfg.scenario.settle_time = 50.0;
+  cfg.scenario.churn_rate = 0.01;
+  cfg.session.chunk_rate = 0.1;
+  cfg.session.join_mode = overlay::JoinMode::kConcurrent;
+  cfg.compute_mst_ratio = false;
+  cfg.seed = 7;
+
+  experiments::RunConfig seq = cfg;
+  seq.session.join_mode = overlay::JoinMode::kSequential;
+  experiments::RunScratch scratch;
+  const experiments::RunResult baseline = experiments::run_once(seq, scratch);
+
+  benchmark::DoNotOptimize(experiments::run_once(cfg, scratch));  // warm
+  const std::uint64_t grows_before = scratch.grow_events();
+  double joins_per_sec = 0.0;
+  double startup_p99 = 0.0;
+  for (auto _ : state) {
+    experiments::RunResult r = experiments::run_once(cfg, scratch);
+    joins_per_sec = r.join_rate;
+    startup_p99 = r.startup_p99;
+    benchmark::DoNotOptimize(r);
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["joins_per_sec"] = joins_per_sec;
+  state.counters["startup_p99_ms"] = startup_p99 * 1e3;
+  state.counters["speedup_vs_sequential"] =
+      baseline.join_rate > 0.0 ? joins_per_sec / baseline.join_rate : 0.0;
+  state.counters["arena_grow_per_iter"] =
+      static_cast<double>(scratch.grow_events() - grows_before) / iters;
+}
+BENCHMARK(BM_FlashCrowd)
+    ->Arg(8192)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
 /// A small paper-style grid (three overlay sizes x 4 seeds) through
 /// run_grid. threads:1 is the serial reference; threads:0 lets the shared
 /// pool size itself to the hardware — on a multi-core host the ratio of the

@@ -1,6 +1,7 @@
 #include "baselines/btp_protocol.hpp"
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "overlay/session.hpp"
@@ -29,8 +30,7 @@ struct BtpJoinPolicy {
     if (w.can_accept(w.cur())) {
       return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur());
     }
-    VDM_REQUIRE_MSG(!w.kids().empty(),
-                    "walk entered a subtree without capacity");
+    if (w.kids().empty()) return w.no_capacity();
     // Probe every child (the message cost BTP pays) but only step into a
     // subtree that still has an attachment point.
     const std::span<const double> dist = w.probe_kids(stats);
@@ -38,7 +38,18 @@ struct BtpJoinPolicy {
   }
 };
 
+/// Concurrent-join adapter: stateless policy, default commit (measure the
+/// parent after the walk, exchange, attach — the sequential order).
+struct BtpPipeline final : overlay::PolicyPipeline<BtpPipeline, BtpJoinPolicy> {
+  BtpJoinPolicy make_policy(TreeWalk&) const { return {}; }
+};
+
 }  // namespace
+
+overlay::PipelineSupport* BtpProtocol::pipeline_support() {
+  if (!pipeline_) pipeline_ = std::make_unique<BtpPipeline>();
+  return pipeline_.get();
+}
 
 OpStats BtpProtocol::execute_join(Session& s, net::HostId n, net::HostId start) {
   OpStats stats;

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <memory>
+
 #include "overlay/protocol.hpp"
+#include "overlay/walk.hpp"
 #include "sim/time.hpp"
 
 namespace vdm::baselines {
@@ -39,10 +42,13 @@ class BtpProtocol final : public overlay::Protocol {
   bool wants_refinement() const override { return config_.refinement; }
   sim::Time refinement_period() const override { return config_.refinement_period; }
 
+  overlay::PipelineSupport* pipeline_support() override;
+
   const BtpConfig& config() const { return config_; }
 
  private:
   BtpConfig config_;
+  std::unique_ptr<overlay::PipelineSupport> pipeline_;
 };
 
 }  // namespace vdm::baselines

@@ -1,5 +1,6 @@
 #include "baselines/hmtp_protocol.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "overlay/session.hpp"
@@ -32,7 +33,13 @@ struct HmtpSearchPolicy {
     const net::HostId n = w.joiner();
     const std::span<const net::HostId> kids = w.kids();
     if (kids.empty()) {
-      return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur(), d_cur);
+      // A childless stop is always accepted sequentially (the walk only
+      // enters capacity-bearing subtrees); under the pipeline the leaf's
+      // last slot may be reserved by another walker, which is a dead end.
+      if (w.can_accept(w.cur())) {
+        return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur(), d_cur);
+      }
+      return w.no_capacity();
     }
     const std::span<const double> dist = w.probe_kids(stats);
 
@@ -75,7 +82,27 @@ struct HmtpSearchPolicy {
   }
 };
 
+/// Concurrent-join adapter: the plain search policy plus the default
+/// measure-exchange-attach commit. The foster-child quick start stays
+/// sequential-only — its immediate attach is precisely what a batched
+/// pipeline cannot do before the drain resolves slot contention.
+struct HmtpPipeline final
+    : overlay::PolicyPipeline<HmtpPipeline, HmtpSearchPolicy> {
+  const HmtpConfig& config;
+
+  explicit HmtpPipeline(const HmtpConfig& cfg) : config(cfg) {}
+
+  HmtpSearchPolicy make_policy(TreeWalk&) const {
+    return HmtpSearchPolicy{config};
+  }
+};
+
 }  // namespace
+
+overlay::PipelineSupport* HmtpProtocol::pipeline_support() {
+  if (!pipeline_) pipeline_ = std::make_unique<HmtpPipeline>(config_);
+  return pipeline_.get();
+}
 
 TreeWalk::Result HmtpProtocol::search(Session& s, net::HostId n,
                                       net::HostId start,

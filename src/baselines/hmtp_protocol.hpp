@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "overlay/protocol.hpp"
 #include "overlay/walk.hpp"
 #include "sim/time.hpp"
@@ -55,6 +57,10 @@ class HmtpProtocol final : public overlay::Protocol {
   bool wants_refinement() const override { return config_.refinement; }
   sim::Time refinement_period() const override { return config_.refinement_period; }
 
+  /// Concurrent-join adapter (plain search; the foster-child quick start is
+  /// sequential-only).
+  overlay::PipelineSupport* pipeline_support() override;
+
   const HmtpConfig& config() const { return config_; }
 
  private:
@@ -65,6 +71,7 @@ class HmtpProtocol final : public overlay::Protocol {
                                    overlay::OpStats& stats) const;
 
   HmtpConfig config_;
+  std::unique_ptr<overlay::PipelineSupport> pipeline_;
 };
 
 }  // namespace vdm::baselines

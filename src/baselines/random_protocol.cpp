@@ -1,5 +1,7 @@
 #include "baselines/random_protocol.hpp"
 
+#include <memory>
+
 #include "overlay/session.hpp"
 #include "overlay/walk.hpp"
 #include "util/require.hpp"
@@ -31,8 +33,10 @@ struct RandomJoinPolicy {
       if (has_room) {
         return TreeWalk::Action::stop(WalkDecision::kAttach, w.cur());
       }
-      VDM_REQUIRE_MSG(!steppable.empty(),
-                      "walk entered a subtree without capacity");
+      // No room here and nowhere to step (reached only when steppable is
+      // empty, so no draw happened): a sequential walk has violated its
+      // capacity invariant; a pipeline walk parks and retries.
+      return w.no_capacity();
     }
     const net::HostId next = steppable[static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(steppable.size()) - 1))];
@@ -40,7 +44,18 @@ struct RandomJoinPolicy {
   }
 };
 
+/// Concurrent-join adapter: stateless policy, default commit.
+struct RandomPipeline final
+    : overlay::PolicyPipeline<RandomPipeline, RandomJoinPolicy> {
+  RandomJoinPolicy make_policy(TreeWalk&) const { return {}; }
+};
+
 }  // namespace
+
+overlay::PipelineSupport* RandomProtocol::pipeline_support() {
+  if (!pipeline_) pipeline_ = std::make_unique<RandomPipeline>();
+  return pipeline_.get();
+}
 
 OpStats RandomProtocol::execute_join(Session& s, net::HostId n,
                                      net::HostId start) {

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <memory>
+
 #include "overlay/protocol.hpp"
+#include "overlay/walk.hpp"
 
 namespace vdm::baselines {
 
@@ -14,6 +17,11 @@ class RandomProtocol final : public overlay::Protocol {
 
   overlay::OpStats execute_join(overlay::Session& session, net::HostId joiner,
                                 net::HostId start) override;
+
+  overlay::PipelineSupport* pipeline_support() override;
+
+ private:
+  std::unique_ptr<overlay::PipelineSupport> pipeline_;
 };
 
 }  // namespace vdm::baselines

@@ -114,7 +114,74 @@ struct VdmJoinPolicy {
   }
 };
 
+/// The concurrent-join adapter: VdmJoinPolicy unchanged, plus the
+/// splice-aware commit. Lives in the anonymous namespace next to the policy
+/// it re-homes.
+struct VdmPipeline final
+    : overlay::PolicyPipeline<VdmPipeline, VdmJoinPolicy> {
+  const VdmConfig& config;
+  VdmProtocol::CaseStats& cases;
+
+  VdmPipeline(const VdmConfig& cfg, VdmProtocol::CaseStats& cs)
+      : config(cfg), cases(cs) {}
+
+  VdmJoinPolicy make_policy(TreeWalk& walk) const {
+    const overlay::MemberState& nm =
+        walk.session().tree().member(walk.joiner());
+    const int free_slots =
+        nm.degree_limit - static_cast<int>(nm.children.size()) - 1;
+    return VdmJoinPolicy{config, cases, free_slots, {}};
+  }
+
+  std::span<const WalkAdoption> adoptions(
+      const overlay::PolicySlot& slot) const override {
+    return policy_of(slot).adoptions;
+  }
+
+  bool commit(Session& s, net::HostId joiner, net::HostId parent,
+              double parent_dist, bool /*parent_has_dist*/,
+              std::span<const WalkAdoption> adoptions,
+              OpStats& stats) override {
+    overlay::Membership& tree = s.tree();
+    // Re-validate the adoptions against the current tree: between this
+    // walker's stop and its commit turn, other commits may have re-parented
+    // (or spliced away) a candidate. Stale entries are simply dropped — two
+    // splicers at the same parent with disjoint surviving adoptions both
+    // succeed, since each splice funds its own slot by detaching a child.
+    std::vector<WalkAdoption>& live = s.walk_scratch().adoptions;
+    live.clear();
+    for (const WalkAdoption& a : adoptions) {
+      const overlay::MemberState& cm = tree.member(a.child);
+      if (cm.alive && cm.parent == parent) live.push_back(a);
+    }
+    const bool has_room = tree.member(parent).has_free_degree() ||
+                          tree.member(joiner).parent == parent;
+    if (live.empty() && !has_room) {
+      return false;  // every adoption went stale and no slot is left — retry
+    }
+    // From here this is apply_plan against the surviving adoptions.
+    s.charge_exchange(joiner, parent, stats);
+    for (const WalkAdoption& a : live) tree.detach(a.child);
+    tree.attach(joiner, parent, parent_dist);
+    for (const WalkAdoption& a : live) {
+      tree.attach(a.child, joiner, a.dist);
+      s.charge_notification(1, stats);
+      s.charge_notification(
+          static_cast<int>(tree.member(a.child).children.size()), stats);
+    }
+    stats.parent_changed = true;
+    return true;
+  }
+};
+
 }  // namespace
+
+overlay::PipelineSupport* VdmProtocol::pipeline_support() {
+  if (!pipeline_) {
+    pipeline_ = std::make_unique<VdmPipeline>(config_, case_stats_);
+  }
+  return pipeline_.get();
+}
 
 VdmProtocol::JoinPlan VdmProtocol::plan_join(Session& s, net::HostId n,
                                              net::HostId start,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "overlay/protocol.hpp"
@@ -60,6 +61,13 @@ class VdmProtocol final : public overlay::Protocol {
   bool wants_refinement() const override { return config_.refinement; }
   sim::Time refinement_period() const override { return config_.refinement_period; }
 
+  /// Concurrent-join adapter: the same VdmJoinPolicy steps, plus a commit
+  /// that re-validates Case II adoptions against the current tree (another
+  /// walker's splice may have re-parented a candidate since the stop
+  /// decision) and fails — retrying the walk — when every adoption went
+  /// stale and the parent has no free slot left.
+  overlay::PipelineSupport* pipeline_support() override;
+
   const VdmConfig& config() const { return config_; }
 
   /// Cumulative counts of how join searches resolved — the observability
@@ -94,6 +102,9 @@ class VdmProtocol final : public overlay::Protocol {
 
   VdmConfig config_;
   mutable CaseStats case_stats_;
+  /// Created lazily by pipeline_support() (sequential-only runs never pay
+  /// the allocation).
+  std::unique_ptr<overlay::PipelineSupport> pipeline_;
 };
 
 }  // namespace vdm::core

@@ -11,6 +11,7 @@
 #include "baselines/mst_overlay.hpp"
 #include "baselines/random_protocol.hpp"
 #include "core/vdm_protocol.hpp"
+#include "overlay/placement.hpp"
 #include "overlay/walk.hpp"
 #include "net/coord_underlay.hpp"
 #include "sim/simulator.hpp"
@@ -27,8 +28,8 @@ namespace {
 std::size_t auto_pool(const overlay::ScenarioParams& scenario) {
   // Enough spare hosts that churn joiners never exhaust the pool: target
   // members + source + 60% slack (the paper drew 200 members from 792
-  // router attachment points).
-  return scenario.target_members + 1 +
+  // router attachment points). Flash arrivals come on top, one host each.
+  return scenario.target_members + scenario.flash_count + 1 +
          std::max<std::size_t>(8, scenario.target_members * 3 / 5);
 }
 
@@ -116,19 +117,6 @@ std::unique_ptr<overlay::MetricProvider> build_metric(const RunConfig& cfg,
   return nullptr;
 }
 
-double mean_or_zero(const std::vector<double>& v) {
-  if (v.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : v) s += x;
-  return s / static_cast<double>(v.size());
-}
-
-double max_or_zero(const std::vector<double>& v) {
-  double m = 0.0;
-  for (double x : v) m = std::max(m, x);
-  return m;
-}
-
 }  // namespace
 
 struct RunScratch::Impl {
@@ -155,6 +143,17 @@ struct RunScratch::Impl {
 
   metrics::CollectorScratch collector;
 
+  /// The event queue itself: reset() between runs keeps the slab/heap
+  /// capacity a previous run grew (simulator.hpp).
+  sim::Simulator simulator;
+
+  /// Scenario-driver pool buffers (available hosts, membership list).
+  overlay::ScenarioScratch scenario;
+
+  /// Warm placement index (grid cells / landmark ring), swapped into each
+  /// run's Session; null until the first locating/concurrent run.
+  std::unique_ptr<overlay::PlacementIndex> placement;
+
   /// Warm Membership (member slots, children capacity, flood arrays),
   /// ping-ponged into each run's Session via swap_tree_storage; null until
   /// the first run.
@@ -169,6 +168,9 @@ struct RunScratch::Impl {
 
   std::size_t capacity_bytes() const {
     std::size_t bytes = collector.capacity_bytes();
+    bytes += simulator.capacity_bytes();
+    bytes += scenario.capacity_bytes();
+    if (placement) bytes += placement->capacity_bytes();
     if (walk) bytes += walk->capacity_bytes();
     if (tree) bytes += tree->capacity_bytes();
     if (graph_underlay) bytes += graph_underlay->arena_capacity_bytes();
@@ -308,7 +310,8 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   net::Underlay* underlay = build_underlay(config, pool, topo_rng, *scratch.impl_);
   const std::unique_ptr<overlay::Protocol> protocol = build_protocol(config);
 
-  sim::Simulator simulator;
+  sim::Simulator& simulator = scratch.impl_->simulator;
+  simulator.reset();  // keep slab/heap capacity, drop any previous run's state
   const std::unique_ptr<overlay::MetricProvider> metric = build_metric(config, simulator);
   overlay::SessionParams sp = config.session;
   sp.source = 0;
@@ -317,12 +320,19 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   // Adopt the arena's warm tree (member slots, children capacity, flood
   // arrays survive between runs); swapped back after the final metrics read.
   session.swap_tree_storage(scratch.impl_->tree);
+  // Warm placement index (grid cells / landmark ring) for locating and
+  // concurrent join modes; unused (and unallocated) in sequential runs.
+  session.swap_placement_index(scratch.impl_->placement);
   metrics::Collector collector(session, scratch.impl_->collector);
-  overlay::ScenarioDriver driver(session, config.scenario, scenario_rng);
-  driver.run([&](sim::Time at) { collector.capture(at); });
+  {
+    overlay::ScenarioDriver driver(session, config.scenario, scenario_rng,
+                                   &scratch.impl_->scenario);
+    driver.run([&](sim::Time at) { collector.capture(at); });
+  }  // the driver's destructor returns the pool buffers to the arena
   // Return the (now warm) walk buffers to the arena before the end-of-run
   // capacity accounting below.
   session.swap_walk_scratch(scratch.impl_->walk);
+  session.swap_placement_index(scratch.impl_->placement);
 
   const std::size_t skip =
       std::min(config.epoch_skip, collector.samples().empty()
@@ -349,18 +359,26 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   r.overhead_per_chunk = collector.mean_overhead_per_chunk(skip);
   r.network_usage = collector.mean_network_usage(skip);
 
-  const std::vector<double> startups = collector.all_startup_times();
-  const std::vector<double> reconnects = collector.all_reconnect_times();
-  r.startup_avg = mean_or_zero(startups);
-  r.startup_max = max_or_zero(startups);
-  r.reconnect_avg = mean_or_zero(reconnects);
-  r.reconnect_max = max_or_zero(reconnects);
-  const std::vector<double> detections = collector.all_detection_times();
-  const std::vector<double> outages = collector.all_outage_times();
-  r.detection_avg = mean_or_zero(detections);
-  r.detection_max = max_or_zero(detections);
-  r.outage_avg = mean_or_zero(outages);
-  r.outage_max = max_or_zero(outages);
+  const metrics::Collector::EventTimingStats startups = collector.startup_stats();
+  const metrics::Collector::EventTimingStats reconnects =
+      collector.reconnect_stats();
+  r.startup_avg = startups.avg;
+  r.startup_max = startups.max;
+  r.startup_p50 = startups.p50;
+  r.startup_p99 = startups.p99;
+  if (session.join_cohort_span() > 0.0) {
+    r.join_rate = static_cast<double>(session.join_cohort_size()) /
+                  session.join_cohort_span();
+  }
+  r.reconnect_avg = reconnects.avg;
+  r.reconnect_max = reconnects.max;
+  const metrics::Collector::EventTimingStats detections =
+      collector.detection_stats();
+  const metrics::Collector::EventTimingStats outages = collector.outage_stats();
+  r.detection_avg = detections.avg;
+  r.detection_max = detections.max;
+  r.outage_avg = outages.avg;
+  r.outage_max = outages.max;
 
   r.mst_ratio = config.compute_mst_ratio
                     ? baselines::mst_ratio(session.tree(), session.source(),

@@ -95,6 +95,15 @@ struct RunResult {
   double network_usage = 0.0;
   double startup_avg = 0.0;
   double startup_max = 0.0;
+  /// Startup-time distribution tails (flash-crowd headline numbers). Not
+  /// part of the golden scalar list — goldens pin the paper-era fields.
+  double startup_p50 = 0.0;
+  double startup_p99 = 0.0;
+  /// Sustained join throughput of the largest same-instant arrival cohort
+  /// (the flash crowd when one was scheduled): cohort size over its
+  /// makespan, in joins per sim-second. Degenerates to 1/startup for
+  /// scattered arrivals.
+  double join_rate = 0.0;
   double reconnect_avg = 0.0;
   double reconnect_max = 0.0;
   /// Crash-detection latency and full outage (detection + rejoin) over the
@@ -149,8 +158,9 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch);
 struct AggregateResult {
   util::Summary stress, stretch, stretch_leaf, stretch_max, hopcount, hop_leaf,
       hop_max, loss, overhead, overhead_per_chunk, network_usage, startup_avg,
-      startup_max, reconnect_avg, reconnect_max, detection_avg, detection_max,
-      outage_avg, outage_max, mst_ratio;
+      startup_max, startup_p50, startup_p99, join_rate, reconnect_avg,
+      reconnect_max, detection_avg, detection_max, outage_avg, outage_max,
+      mst_ratio;
   std::vector<RunResult> runs;
 };
 

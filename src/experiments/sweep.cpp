@@ -33,6 +33,9 @@ AggregateResult aggregate_runs(std::vector<RunResult> runs, double confidence) {
   agg.network_usage = summarize_field(&RunResult::network_usage);
   agg.startup_avg = summarize_field(&RunResult::startup_avg);
   agg.startup_max = summarize_field(&RunResult::startup_max);
+  agg.startup_p50 = summarize_field(&RunResult::startup_p50);
+  agg.startup_p99 = summarize_field(&RunResult::startup_p99);
+  agg.join_rate = summarize_field(&RunResult::join_rate);
   agg.reconnect_avg = summarize_field(&RunResult::reconnect_avg);
   agg.reconnect_max = summarize_field(&RunResult::reconnect_max);
   agg.detection_avg = summarize_field(&RunResult::detection_avg);

@@ -1,13 +1,15 @@
 #include "metrics/collector.hpp"
 
 #include "util/require.hpp"
+#include "util/stats.hpp"
 
 namespace vdm::metrics {
 
 std::size_t CollectorScratch::capacity_bytes() const {
   std::size_t bytes = samples.capacity() * sizeof(EpochSample) +
                       (startup_buf.capacity() + reconnect_buf.capacity()) *
-                          sizeof(overlay::TimingRecord);
+                          sizeof(overlay::TimingRecord) +
+                      percentile_buf.capacity() * sizeof(double);
   for (const EpochSample& e : samples) {
     bytes += (e.startup_times.capacity() + e.reconnect_times.capacity() +
               e.detection_times.capacity() + e.outage_times.capacity()) *
@@ -102,6 +104,48 @@ double Collector::mean_overhead_per_chunk(std::size_t skip) const {
 }
 double Collector::mean_network_usage(std::size_t skip) const {
   return mean_of([](const EpochSample& e) { return e.tree.network_usage; }, skip);
+}
+
+double Collector::startup_percentile(double p) const {
+  std::vector<double>& buf = scratch_->percentile_buf;
+  buf.clear();
+  for (const auto& e : samples())
+    buf.insert(buf.end(), e.startup_times.begin(), e.startup_times.end());
+  if (buf.empty()) return 0.0;
+  return util::percentile_inplace(buf, p);
+}
+
+Collector::EventTimingStats Collector::stats_of(
+    std::vector<double> EpochSample::* field) const {
+  std::vector<double>& buf = scratch_->percentile_buf;
+  buf.clear();
+  for (const auto& e : samples()) {
+    const std::vector<double>& v = e.*field;
+    buf.insert(buf.end(), v.begin(), v.end());
+  }
+  EventTimingStats s;
+  if (buf.empty()) return s;
+  double sum = 0.0;
+  for (const double d : buf) sum += d;
+  s.avg = sum / static_cast<double>(buf.size());
+  // percentile_inplace sorts the buffer, so max is the back afterwards.
+  s.p50 = util::percentile_inplace(buf, 0.50);
+  s.p99 = util::percentile_inplace(buf, 0.99);
+  s.max = buf.back();
+  return s;
+}
+
+Collector::EventTimingStats Collector::startup_stats() const {
+  return stats_of(&EpochSample::startup_times);
+}
+Collector::EventTimingStats Collector::reconnect_stats() const {
+  return stats_of(&EpochSample::reconnect_times);
+}
+Collector::EventTimingStats Collector::detection_stats() const {
+  return stats_of(&EpochSample::detection_times);
+}
+Collector::EventTimingStats Collector::outage_stats() const {
+  return stats_of(&EpochSample::outage_times);
 }
 
 std::vector<double> Collector::all_startup_times() const {

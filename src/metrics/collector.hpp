@@ -46,6 +46,8 @@ struct CollectorScratch {
   /// Swap buffers for Session::drain_*_records (ping-pong, no allocation).
   std::vector<overlay::TimingRecord> startup_buf;
   std::vector<overlay::TimingRecord> reconnect_buf;
+  /// Gather/sort buffer for the percentile accessors.
+  std::vector<double> percentile_buf;
   TreeMetricsScratch tree;
 
   /// Heap bytes reserved across all slots and buffers — the arena-growth
@@ -91,6 +93,28 @@ class Collector {
   double mean_overhead_per_chunk(std::size_t skip = 0) const;
   double mean_network_usage(std::size_t skip = 0) const;
 
+  /// p-th percentile (p in [0,1]) of all startup durations across epochs,
+  /// gathered and sorted in the scratch's percentile buffer — allocation-free
+  /// once warm. Returns 0 when no joins completed.
+  double startup_percentile(double p) const;
+
+  /// Run-wide summary of one per-event timing family. All zeros when the
+  /// family recorded nothing (e.g. no crash churn ran).
+  struct EventTimingStats {
+    double avg = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Scratch-backed summaries of the four timing families: gathered and
+  /// sorted in the percentile buffer, so allocation-free once warm — the
+  /// form run_once uses instead of the all_*_times copies below.
+  EventTimingStats startup_stats() const;
+  EventTimingStats reconnect_stats() const;
+  EventTimingStats detection_stats() const;
+  EventTimingStats outage_stats() const;
+
   /// All startup / reconnection durations across all epochs.
   std::vector<double> all_startup_times() const;
   std::vector<double> all_reconnect_times() const;
@@ -99,6 +123,8 @@ class Collector {
   std::vector<double> all_outage_times() const;
 
  private:
+  EventTimingStats stats_of(std::vector<double> EpochSample::* field) const;
+
   overlay::Session* session_;
   /// Active scratch: &owned_ for the plain constructor, the caller's arena
   /// for the borrowing one. Reusing slots keeps measure_tree and the epoch

@@ -64,6 +64,14 @@ class CoordUnderlay final : public Underlay {
 
   const Params& params() const { return params_; }
 
+  /// Raw per-host coordinates (lat/lon degrees or km, see Space). The
+  /// placement index bins these directly — same arrays delay() reads, so a
+  /// grid nearest-neighbor is consistent with the delay metric by
+  /// construction.
+  Space space() const { return params_.space; }
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+
   // ------------------------------------------------------------ arena reuse
   /// Moves the coordinate arrays out so a generator can refill the same
   /// storage; queries are invalid until rebind() seats new coordinates.

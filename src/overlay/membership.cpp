@@ -50,6 +50,10 @@ void Membership::reset(std::size_t num_hosts) {
   flood_.assign(num_hosts);
   num_hosts_ = num_hosts;
   limit1_alive_ = 0;
+  alive_count_ = 0;
+  // The observer is bound per run (it indexes one session's tree); a reset
+  // tree must not keep notifying a structure from the previous run.
+  observer_ = nullptr;
 }
 
 void Membership::activate(HostId h, int degree_limit) {
@@ -67,6 +71,7 @@ void Membership::activate(HostId h, int degree_limit) {
   m.degree_limit = degree_limit;
   flood_.reset_host(h);
   if (degree_limit == 1) ++limit1_alive_;
+  ++alive_count_;
 }
 
 std::vector<HostId> Membership::deactivate(HostId h) {
@@ -91,6 +96,7 @@ void Membership::deactivate(HostId h, std::vector<HostId>& orphans_out) {
   m.child_dists.clear();
   m.alive = false;
   if (m.degree_limit == 1) --limit1_alive_;
+  --alive_count_;
 }
 
 void Membership::attach(HostId child, HostId parent, double measured_dist,
@@ -110,11 +116,13 @@ void Membership::attach(HostId child, HostId parent, double measured_dist,
   cm.parent = parent;
   cm.grandparent = pm.parent;
   refresh_grandparent_of_children(child);
+  if (observer_ != nullptr) observer_->on_attach(child, parent);
 }
 
 void Membership::detach(HostId child) {
   MemberState& cm = members_.at(child);
   VDM_REQUIRE(cm.parent != kInvalidHost);
+  if (observer_ != nullptr) observer_->on_detach(child, cm.parent);
   MemberState& pm = members_.at(cm.parent);
   const auto it = std::find(pm.children.begin(), pm.children.end(), child);
   VDM_REQUIRE_MSG(it != pm.children.end(), "parent/child pointers out of sync");
@@ -160,14 +168,15 @@ bool Membership::subtree_has_capacity(HostId root, HostId exclude) const {
   // DFS over the subtree looking for any member with a free slot; `exclude`
   // (typically a refining node) and everything below it are skipped so a
   // node never counts capacity it would detach from the subtree itself.
-  std::vector<HostId> stack{root};
-  while (!stack.empty()) {
-    const HostId at = stack.back();
-    stack.pop_back();
+  capacity_stack_.clear();
+  capacity_stack_.push_back(root);
+  while (!capacity_stack_.empty()) {
+    const HostId at = capacity_stack_.back();
+    capacity_stack_.pop_back();
     const MemberState& m = members_.at(at);
     if (m.has_free_degree()) return true;
     for (const HostId c : m.children) {
-      if (c != exclude) stack.push_back(c);
+      if (c != exclude) capacity_stack_.push_back(c);
     }
   }
   return false;
@@ -223,7 +232,8 @@ std::size_t Membership::capacity_bytes() const {
     bytes += m.children.capacity() * sizeof(HostId) +
              m.child_dists.capacity() * sizeof(double);
   }
-  return bytes + flood_.capacity_bytes();
+  return bytes + flood_.capacity_bytes() +
+         capacity_stack_.capacity() * sizeof(HostId);
 }
 
 void Membership::refresh_grandparent_of_children(HostId node) {

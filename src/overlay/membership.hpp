@@ -76,6 +76,19 @@ struct FloodTable {
   std::size_t capacity_bytes() const;
 };
 
+/// Observes tree mutations. The placement index (overlay/placement.hpp)
+/// keeps its nearest-neighbor structures current by watching every attach
+/// and detach instead of rescanning the membership; any other incremental
+/// index can hook in the same way. Callbacks fire after an attach completes
+/// and before a detach mutates anything, so the observer always sees a
+/// consistent tree.
+class MembershipObserver {
+ public:
+  virtual ~MembershipObserver() = default;
+  virtual void on_attach(HostId child, HostId parent) = 0;
+  virtual void on_detach(HostId child, HostId parent) = 0;
+};
+
 /// The overlay tree: owns all MemberStates and keeps parent / child /
 /// grandparent pointers mutually consistent through every mutation.
 ///
@@ -164,6 +177,12 @@ class Membership {
   /// All alive members (connected or not).
   std::vector<HostId> alive_members() const;
 
+  /// Count of alive members, maintained incrementally (no scan, no alloc).
+  std::size_t alive_count() const { return alive_count_; }
+
+  /// Registers the single mutation observer (nullptr to clear). Not owned.
+  void set_observer(MembershipObserver* observer) { observer_ = observer; }
+
   /// Members reachable from `root` through parent pointers, including root.
   std::vector<HostId> subtree(HostId root) const;
 
@@ -187,6 +206,11 @@ class Membership {
   std::vector<MemberState> members_;
   FloodTable flood_;
   std::size_t num_hosts_ = 0;
+  std::size_t alive_count_ = 0;
+  MembershipObserver* observer_ = nullptr;
+  /// DFS scratch for subtree_has_capacity(); member state (not a local) so
+  /// the saturated-descent checks stay allocation-free in steady state.
+  mutable std::vector<HostId> capacity_stack_;
   /// Count of alive members with degree_limit == 1. Such members are the
   /// only ones that can be saturated leaves (limit >= 2 leaves always have
   /// a free slot), so subtree_has_capacity() short-circuits to true while

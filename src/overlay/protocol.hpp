@@ -9,6 +9,7 @@ namespace vdm::overlay {
 
 class Session;
 class WalkObserver;
+class PipelineSupport;
 
 /// Cost/latency ledger of one protocol operation (join, reconnect, refine).
 /// Protocols accumulate into it through Session's measurement/messaging
@@ -63,9 +64,14 @@ class Protocol {
   /// observer must outlive the protocol's use of it.
   void set_walk_observer(WalkObserver* observer) { walk_observer_ = observer; }
 
- protected:
-  /// Passed to TreeWalk by the protocol's walk call sites; null when unset.
+  /// Passed to TreeWalk by the protocol's walk call sites (and by the
+  /// session's concurrent-join drain); null when unset.
   WalkObserver* walk_observer() const { return walk_observer_; }
+
+  /// The protocol's adapter to the concurrent join pipeline (see
+  /// overlay/walk.hpp). Null means the protocol only supports sequential
+  /// joins; Session rejects join_mode == kConcurrent for it.
+  virtual PipelineSupport* pipeline_support() { return nullptr; }
 
  private:
   WalkObserver* walk_observer_ = nullptr;

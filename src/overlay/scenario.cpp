@@ -31,18 +31,34 @@ double DegreeSpec::mean() const {
 }
 
 ScenarioDriver::ScenarioDriver(Session& session, const ScenarioParams& params,
-                               util::Rng rng)
-    : session_(session), params_(params), rng_(rng),
-      pending_leave_(session.underlay().num_hosts(), 0) {
+                               util::Rng rng, ScenarioScratch* scratch)
+    : session_(session), params_(params), rng_(rng), scratch_(scratch) {
   VDM_REQUIRE(params_.target_members >= 1);
-  VDM_REQUIRE_MSG(params_.target_members < session.underlay().num_hosts(),
-                  "need spare hosts beyond the target membership for churn");
+  VDM_REQUIRE_MSG(
+      params_.target_members + params_.flash_count <
+          session.underlay().num_hosts(),
+      "need spare hosts beyond the target membership for churn");
   VDM_REQUIRE(params_.churn_rate >= 0.0 && params_.churn_rate <= 1.0);
   VDM_REQUIRE(params_.crash_fraction >= 0.0 && params_.crash_fraction <= 1.0);
   VDM_REQUIRE(params_.settle_time < params_.churn_interval);
+  if (scratch_ != nullptr) {
+    available_ = std::move(scratch_->available);
+    in_overlay_ = std::move(scratch_->in_overlay);
+    pending_leave_ = std::move(scratch_->pending_leave);
+    available_.clear();
+    in_overlay_.clear();
+  }
+  pending_leave_.assign(session.underlay().num_hosts(), 0);
   for (net::HostId h = 0; h < session.underlay().num_hosts(); ++h) {
     if (h != session.source()) available_.push_back(h);
   }
+}
+
+ScenarioDriver::~ScenarioDriver() {
+  if (scratch_ == nullptr) return;
+  scratch_->available = std::move(available_);
+  scratch_->in_overlay = std::move(in_overlay_);
+  scratch_->pending_leave = std::move(pending_leave_);
 }
 
 net::HostId ScenarioDriver::draw_available() {
@@ -102,6 +118,18 @@ void ScenarioDriver::schedule_initial_joins() {
     // Small positive floor keeps the source's activation strictly first.
     const sim::Time t = rng_.uniform(0.001, std::max(0.002, params_.join_phase));
     sim.schedule_at(t, [this, h] { do_join(h); });
+  }
+}
+
+void ScenarioDriver::schedule_flash_crowd() {
+  if (params_.flash_count == 0) return;
+  sim::Simulator& sim = session_.simulator();
+  // Every flash member joins at the same instant — one timestamp, one drain
+  // batch under the concurrent pipeline. Hosts are drawn here, in schedule
+  // order, so the arrival set is a pure function of the seed.
+  for (std::size_t i = 0; i < params_.flash_count; ++i) {
+    const net::HostId h = draw_available();
+    sim.schedule_at(params_.flash_at, [this, h] { do_join(h); });
   }
 }
 
@@ -174,6 +202,7 @@ void ScenarioDriver::run(const MeasureFn& on_measure) {
     schedule_initial_joins();
     schedule_churn_slots(on_measure);
   }
+  schedule_flash_crowd();
   session_.simulator().run_until(params_.total_time);
   session_.stop();
 }

@@ -51,6 +51,28 @@ struct ScenarioParams {
   /// interval (measuring after each batch) until target_members is reached.
   bool batched_joins = false;
   std::size_t batch_size = 50;
+
+  /// Flash crowd: `flash_count` extra members (on top of target_members)
+  /// all join at the single timestamp `flash_at`. Under join_mode ==
+  /// kConcurrent they form one drain batch; sequential modes process them
+  /// back-to-back at that instant. 0 disables.
+  std::size_t flash_count = 0;
+  sim::Time flash_at = 0.0;
+};
+
+/// Reusable buffers of a ScenarioDriver (host pool, membership list,
+/// pending-leave flags). Shuttled through RunScratch so back-to-back runs
+/// over a 100k-host pool rebuild the pool in place instead of reallocating.
+struct ScenarioScratch {
+  std::vector<net::HostId> available;
+  std::vector<net::HostId> in_overlay;
+  std::vector<char> pending_leave;
+
+  std::size_t capacity_bytes() const {
+    return (available.capacity() + in_overlay.capacity()) *
+               sizeof(net::HostId) +
+           pending_leave.capacity();
+  }
 };
 
 /// Orchestrates a full experiment run on one Session: schedules joins,
@@ -62,7 +84,13 @@ struct ScenarioParams {
 /// may join and leave several times while some never join").
 class ScenarioDriver {
  public:
-  ScenarioDriver(Session& session, const ScenarioParams& params, util::Rng rng);
+  /// `scratch` (optional) donates warm pool buffers; the destructor returns
+  /// them, grown, for the next run.
+  ScenarioDriver(Session& session, const ScenarioParams& params, util::Rng rng,
+                 ScenarioScratch* scratch = nullptr);
+  ~ScenarioDriver();
+  ScenarioDriver(const ScenarioDriver&) = delete;
+  ScenarioDriver& operator=(const ScenarioDriver&) = delete;
 
   /// Measurement callback: invoked at each measurement point (settled tree).
   using MeasureFn = std::function<void(sim::Time)>;
@@ -76,6 +104,7 @@ class ScenarioDriver {
 
  private:
   void schedule_initial_joins();
+  void schedule_flash_crowd();
   void schedule_churn_slots(const MeasureFn& on_measure);
   void schedule_batched_joins(const MeasureFn& on_measure);
   void do_join(net::HostId h);
@@ -87,6 +116,7 @@ class ScenarioDriver {
   Session& session_;
   ScenarioParams params_;
   util::Rng rng_;
+  ScenarioScratch* scratch_ = nullptr;
 
   std::vector<net::HostId> available_;   // not in overlay, not pending join
   std::vector<net::HostId> in_overlay_;  // alive members (excl. source)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "overlay/placement.hpp"
 #include "overlay/walk.hpp"
 #include "util/require.hpp"
 
@@ -31,6 +32,15 @@ void Session::swap_tree_storage(std::unique_ptr<Membership>& other) {
   tree_.reset(underlay_.num_hosts());
 }
 
+void Session::swap_placement_index(std::unique_ptr<PlacementIndex>& other) {
+  if (!other) other = std::make_unique<PlacementIndex>();
+  std::swap(placement_, other);
+}
+
+const std::vector<int>& Session::join_reservations() const {
+  return walk_scratch_->reserved;
+}
+
 Session::~Session() { stop(); }
 
 void Session::start() {
@@ -38,6 +48,16 @@ void Session::start() {
   started_ = true;
   tree_.activate(params_.source, params_.source_degree_limit);
   tree_.flood().in_session_since[params_.source] = sim_.now();
+  if (params_.join_mode != JoinMode::kSequential) {
+    VDM_REQUIRE_MSG(params_.join_mode != JoinMode::kConcurrent ||
+                        protocol_.pipeline_support() != nullptr,
+                    "join_mode=concurrent requires a protocol with pipeline "
+                    "support");
+    if (!placement_) placement_ = std::make_unique<PlacementIndex>();
+    placement_->bind(underlay_, params_.source);
+    tree_.set_observer(placement_.get());
+    placement_->insert(params_.source);
+  }
   if (params_.data_plane) {
     stream_timer_ = std::make_unique<sim::Periodic>(
         sim_, 1.0 / params_.chunk_rate, [this] { emit_chunk(); });
@@ -45,6 +65,8 @@ void Session::start() {
 }
 
 void Session::stop() {
+  // A drain event scheduled behind us may still fire; emptied, it no-ops.
+  walk_scratch_->pending_joins.clear();
   stream_timer_.reset();
   refine_timers_.clear();
   for (auto& [h, hb] : heartbeats_) {
@@ -58,16 +80,55 @@ TimingRecord Session::join(net::HostId h, int degree_limit) {
   VDM_REQUIRE(started_);
   VDM_REQUIRE_MSG(h != params_.source, "the source does not join");
   tree_.activate(h, degree_limit);
-  const TimingRecord rec = run_join(h, params_.source, /*is_reconnect=*/false);
+
+  if (params_.join_mode == JoinMode::kConcurrent) {
+    // Activated but still detached: invisible to the data-plane flood and
+    // never an eligible parent, so the queued state needs no special casing
+    // anywhere else. One drain event per timestamp services the whole batch.
+    walk_scratch_->pending_joins.push_back({h, degree_limit});
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      // schedule_in(0) sequences the drain after every event already queued
+      // at this timestamp — late same-time arrivals still make this batch.
+      sim_.schedule_in(0.0, [this] { drain_join_batch(); });
+    }
+    TimingRecord placeholder;
+    placeholder.at = sim_.now();
+    placeholder.host = h;
+    return placeholder;
+  }
+
+  OpStats pre;
+  net::HostId start = params_.source;
+  if (params_.join_mode == JoinMode::kLocating) start = locate_entry(h, pre);
+  const TimingRecord rec =
+      run_join(h, start, /*is_reconnect=*/false, /*detection=*/0.0, pre);
   tree_.flood().in_session_since[h] = sim_.now() + rec.duration;
   if (protocol_.wants_refinement()) arm_refinement(h);
   if (params_.paranoid_checks) tree_.validate();
   return rec;
 }
 
+net::HostId Session::locate_entry(net::HostId h, OpStats& stats) {
+  // The joiner's one contact with the rendezvous point (co-located with the
+  // source): request + response carrying the candidate entry node.
+  charge_exchange(h, params_.source, stats);
+  const net::HostId found = placement_->locate(h, *this, stats);
+  if (found == kInvalidHost || !eligible_parent(h, found)) {
+    return params_.source;
+  }
+  return found;
+}
+
 TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconnect,
-                               sim::Time detection) {
-  OpStats stats = protocol_.execute_join(*this, h, start);
+                               sim::Time detection, OpStats pre) {
+  OpStats stats = pre;
+  stats += protocol_.execute_join(*this, h, start);
+  return finish_join(h, stats, is_reconnect, detection);
+}
+
+TimingRecord Session::finish_join(net::HostId h, const OpStats& stats,
+                                  bool is_reconnect, sim::Time detection) {
   VDM_REQUIRE_MSG(tree_.member(h).parent != kInvalidHost,
                   "protocol join must attach the node");
   window_.control_messages += stats.messages;
@@ -93,6 +154,24 @@ TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconne
     startup_records_.push_back(rec);
     ++window_.joins_completed;
     ++totals_.joins_completed;
+    if (first_join_at_ < 0.0) first_join_at_ = rec.at;
+    last_join_done_at_ = std::max(last_join_done_at_, rec.at + rec.duration);
+    // Same-instant arrival cohorts (finish_join calls of one cohort are
+    // contiguous: sequential joins run back-to-back events at one
+    // timestamp, a concurrent batch commits inside one drain event). The
+    // largest cohort is the flash crowd when one was scheduled.
+    if (rec.at == cohort_at_ && cohort_n_ > 0) {
+      ++cohort_n_;
+      cohort_span_ = std::max(cohort_span_, rec.duration);
+    } else {
+      cohort_at_ = rec.at;
+      cohort_n_ = 1;
+      cohort_span_ = rec.duration;
+    }
+    if (cohort_n_ >= best_cohort_n_) {
+      best_cohort_n_ = cohort_n_;
+      best_cohort_span_ = cohort_span_;
+    }
   }
   // Every attached member probes its parent; (re)arming here covers plain
   // joins, graceful-leave reconnections and crash recoveries uniformly.
@@ -101,6 +180,137 @@ TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconne
   // orphan are still detached with (legitimately) stale pointers. The
   // callers validate at the end of the whole operation.
   return rec;
+}
+
+void Session::drain_join_batch() {
+  drain_scheduled_ = false;
+  WalkScratch& ws = *walk_scratch_;
+  if (ws.pending_joins.empty()) return;  // run stopped mid-batch
+  PipelineSupport* support = protocol_.pipeline_support();
+  VDM_REQUIRE(support != nullptr);
+
+  // Build the walker table from the batch. Between drains every reservation
+  // has been released (each reserve converts to a commit or is dropped with
+  // its walker's stop state), so the counts are already all zero.
+  ws.walkers.clear();
+  ws.queue.clear();
+  ws.parked.clear();
+  ws.adoption_pool.clear();
+  if (ws.reserved.size() < underlay_.num_hosts()) {
+    ws.reserved.resize(underlay_.num_hosts(), 0);
+  }
+  for (const PendingJoin& pj : ws.pending_joins) {
+    JoinWalker w;
+    w.host = pj.host;
+    w.degree_limit = pj.degree_limit;
+    ws.queue.push_back(static_cast<std::uint32_t>(ws.walkers.size()));
+    ws.walkers.push_back(w);
+  }
+  ws.pending_joins.clear();
+
+  // One engine serves every walker: turns are serialized, so each turn
+  // re-binds it to its walker's suspended position. Reservation-aware
+  // can_accept plus abort-on-dead-end are what distinguish pipeline walks
+  // from sequential ones.
+  TreeWalk walk(*this, protocol_.walk_observer());
+  walk.bind_reservations(&ws.reserved);
+  walk.allow_abort(true);
+
+  const sim::Time now = sim_.now();
+  std::size_t q_head = 0;  // FIFO cursors — the vectors only ever append
+  std::size_t p_head = 0;
+
+  while (q_head < ws.queue.size()) {
+    const std::uint32_t wi = ws.queue[q_head++];
+    JoinWalker& w = ws.walkers[wi];
+    switch (w.phase) {
+      case JoinPhase::kStart: {
+        // (Re)start: locate an entry node — a woken walker re-locates, since
+        // the index moved on while it was parked — and init the policy.
+        const net::HostId start = locate_entry(w.host, w.stats);
+        w.cur = walk.normalize_start(w.host, start);
+        w.step_index = 0;
+        walk.resume(w.host, w.cur, 0);
+        support->start(walk, w.slot, w.stats);
+        w.phase = JoinPhase::kWalk;
+        ws.queue.push_back(wi);
+        break;
+      }
+      case JoinPhase::kWalk: {
+        walk.resume(w.host, w.cur, w.step_index);
+        const TreeWalk::Action action = walk.step_once(*support, w.slot, w.stats);
+        if (action.kind == TreeWalk::Action::Kind::kDescend) {
+          w.cur = walk.cur();
+          w.step_index = walk.step_index();
+          ws.queue.push_back(wi);
+          break;
+        }
+        if (action.kind == TreeWalk::Action::Kind::kAbort) {
+          // Every reachable slot is reserved by another in-flight walker.
+          // Park (holding no reservations) until a commit frees or creates
+          // capacity; the wake restarts the walk from scratch.
+          w.phase = JoinPhase::kStart;
+          ws.parked.push_back(wi);
+          break;
+        }
+        // Stop: the can_accept that allowed it saw links + reservations
+        // below the limit, so reserving here keeps the slot ours until the
+        // commit turn. The adoptions span views shared walk scratch — copy
+        // it out before the next walker's turn clobbers it.
+        w.parent = action.node;
+        w.parent_dist = action.dist;
+        w.parent_has_dist = action.has_dist;
+        const std::span<const WalkAdoption> ad = support->adoptions(w.slot);
+        w.adoptions_off = static_cast<std::uint32_t>(ws.adoption_pool.size());
+        w.adoptions_len = static_cast<std::uint32_t>(ad.size());
+        ws.adoption_pool.insert(ws.adoption_pool.end(), ad.begin(), ad.end());
+        ++ws.reserved[w.parent];
+        w.step_index = walk.step_index();
+        w.phase = JoinPhase::kCommit;
+        ws.queue.push_back(wi);
+        break;
+      }
+      case JoinPhase::kCommit: {
+        --ws.reserved[w.parent];
+        const std::span<const WalkAdoption> ad{
+            ws.adoption_pool.data() + w.adoptions_off, w.adoptions_len};
+        if (!support->commit(*this, w.host, w.parent, w.parent_dist,
+                             w.parent_has_dist, ad, w.stats)) {
+          // Lost a race another walker created between stop and commit
+          // (e.g. every VDM adoption went stale). Retry immediately — never
+          // park here, or the capacity this walker *can* still reach might
+          // produce no further wakes.
+          w.phase = JoinPhase::kStart;
+          ws.queue.push_back(wi);
+          break;
+        }
+        finish_join(w.host, w.stats, /*is_reconnect=*/false, 0.0);
+        tree_.flood().in_session_since[w.host] = now + w.stats.elapsed;
+        if (protocol_.wants_refinement()) arm_refinement(w.host);
+        // The attach created capacity (the joiner's own free slots) and may
+        // have restructured the neighborhood — wake parked walkers, FIFO.
+        std::size_t wake = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::max(w.degree_limit - 1, 0)));
+        wake = std::min(wake, ws.parked.size() - p_head);
+        for (; wake > 0; --wake) {
+          ws.queue.push_back(ws.parked[p_head++]);
+        }
+        break;
+      }
+    }
+  }
+
+  // Progress argument: the final active walker ran with every other
+  // reservation released, i.e. against the true tree — if it parked, the
+  // session genuinely has no attachment point left, which activate() caps
+  // prevent. A stall here means the reservation protocol leaked.
+  VDM_REQUIRE_MSG(p_head == ws.parked.size(),
+                  "concurrent join pipeline stalled with parked walkers");
+  ws.queue.clear();
+  ws.parked.clear();
+  ws.walkers.clear();
+  ws.adoption_pool.clear();
+  if (params_.paranoid_checks) tree_.validate();
 }
 
 net::HostId Session::reconnect_start(net::HostId orphan) const {

@@ -15,6 +15,26 @@
 namespace vdm::overlay {
 
 struct WalkScratch;
+class PlacementIndex;
+class PipelineSupport;
+
+/// How joins find their place in the tree.
+enum class JoinMode {
+  /// One walk at a time from the source — the paper's baseline join and the
+  /// bit-identical golden path.
+  kSequential,
+  /// Locating-first: a placement index (overlay/placement.hpp) names a deep
+  /// entry node near the joiner, and the protocol walk runs from there —
+  /// O(1) placement plus a short local walk instead of O(depth) from the
+  /// source. Still one walk at a time.
+  kLocating,
+  /// Locating-first entry plus the batched concurrent pipeline: all joins
+  /// arriving at one timestamp run as interleaved walks in a single drain
+  /// event, serialized one step per turn with per-node slot reservations
+  /// (see Session::drain_join_batch). Requires a protocol with
+  /// PipelineSupport.
+  kConcurrent,
+};
 
 /// Failure-model knobs (crash detection and lossy control plane). All draws
 /// they introduce flow through the session Rng, and every knob at its
@@ -63,6 +83,10 @@ struct SessionParams {
   double buffer_seconds = 0.0;
   /// Validate all tree invariants after every mutation batch (tests).
   bool paranoid_checks = false;
+  /// Join placement engine (fresh arrivals only — orphan reconnections
+  /// always run the sequential grandparent-first path, whose latency is the
+  /// outage metric the paper measures).
+  JoinMode join_mode = JoinMode::kSequential;
   /// Crash-failure and control-loss model; defaults are all-off.
   FaultParams faults;
 };
@@ -106,6 +130,13 @@ class Session {
 
   /// Runs the protocol join for host `h` right now. Returns the timing
   /// record (also retained internally for the metrics collector).
+  ///
+  /// Under join_mode == kConcurrent the join is only *enqueued*: all
+  /// arrivals at the current timestamp are serviced together by one drain
+  /// event scheduled behind them (so the batch — and the resulting tree —
+  /// is invariant to how callers group same-time join() calls). The
+  /// returned record is a placeholder; the real one lands in the startup
+  /// records when the walker commits.
   TimingRecord join(net::HostId h, int degree_limit);
 
   /// Graceful leave: notifies children and parent, detaches `h`, and
@@ -182,6 +213,31 @@ class Session {
   /// has been read for final metrics) to return it.
   void swap_tree_storage(std::unique_ptr<Membership>& other);
 
+  /// Arena shuttle for the placement index (join_mode != kSequential):
+  /// start() rebinds whatever index is installed, reusing its grown grid /
+  /// ring storage. A null `other` is populated first.
+  void swap_placement_index(std::unique_ptr<PlacementIndex>& other);
+
+  /// Live per-host reservation counts of the concurrent join pipeline
+  /// (non-zero only mid-drain; tests observe it from a WalkObserver).
+  const std::vector<int>& join_reservations() const;
+
+  /// Sim-time bounds of the initial-join workload: when the first join
+  /// started and when the last join so far finished its handshake
+  /// (first_join_at < 0 until a join completes). joins_completed divided by
+  /// the spread is the sustained join throughput — for a flash crowd the
+  /// spread is the slowest startup in the batch.
+  sim::Time first_join_at() const { return first_join_at_; }
+  sim::Time last_join_done_at() const { return last_join_done_at_; }
+
+  /// Largest same-instant arrival cohort seen so far (the flash crowd when
+  /// one was scheduled; 1 for scattered arrivals) and its makespan — the
+  /// longest startup within the cohort, since all its members start
+  /// together. size / makespan is the sustained join throughput of the
+  /// burst in sim time.
+  std::uint64_t join_cohort_size() const { return best_cohort_n_; }
+  sim::Time join_cohort_span() const { return best_cohort_span_; }
+
   // --- counters for the metrics layer ------------------------------------
   struct Counters {
     std::uint64_t control_messages = 0;
@@ -217,7 +273,20 @@ class Session {
 
  private:
   TimingRecord run_join(net::HostId h, net::HostId start, bool is_reconnect,
-                        sim::Time detection = 0.0);
+                        sim::Time detection = 0.0, OpStats pre = {});
+  /// The join epilogue shared by the sequential path and the pipeline's
+  /// commit turns: counters, timing record, flood-table timestamps,
+  /// heartbeat (re)arming.
+  TimingRecord finish_join(net::HostId h, const OpStats& stats,
+                           bool is_reconnect, sim::Time detection);
+  /// Locating-first entry: contacts the rendezvous (one exchange with the
+  /// source) and asks the placement index for a nearby attached member;
+  /// falls back to the source when the index has no answer.
+  net::HostId locate_entry(net::HostId h, OpStats& stats);
+  /// Services every join enqueued at the current timestamp as one batch of
+  /// interleaved walks (round-robin turns over a shared TreeWalk, per-node
+  /// slot reservations, park/wake on capacity dead-ends). See DESIGN.md §10.
+  void drain_join_batch();
   /// Where an orphan starts its rejoin: grandparent if alive and eligible,
   /// else the source (§3.3; also covers "the grandparent crashed too").
   net::HostId reconnect_start(net::HostId orphan) const;
@@ -251,6 +320,21 @@ class Session {
   util::Rng rng_;
   Membership tree_;
   std::unique_ptr<WalkScratch> walk_scratch_;
+  /// Installed when join_mode != kSequential (start() binds it and wires it
+  /// as the tree's MembershipObserver).
+  std::unique_ptr<PlacementIndex> placement_;
+  /// A drain event for the current timestamp's join batch is already in the
+  /// simulator queue.
+  bool drain_scheduled_ = false;
+  /// See first_join_at() / last_join_done_at().
+  sim::Time first_join_at_ = -1.0;
+  sim::Time last_join_done_at_ = 0.0;
+  /// Current and best same-instant join cohort (see join_cohort_size()).
+  sim::Time cohort_at_ = -1.0;
+  std::uint64_t cohort_n_ = 0;
+  sim::Time cohort_span_ = 0.0;
+  std::uint64_t best_cohort_n_ = 0;
+  sim::Time best_cohort_span_ = 0.0;
 
   std::unique_ptr<sim::Periodic> stream_timer_;
   std::unordered_map<net::HostId, std::unique_ptr<sim::Periodic>> refine_timers_;

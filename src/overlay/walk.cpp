@@ -17,6 +17,7 @@ std::string_view walk_decision_name(WalkDecision decision) {
     case WalkDecision::kClosestFreeChild: return "closest-free-child";
     case WalkDecision::kCapacityDescend: return "capacity-descend";
     case WalkDecision::kRandomStep: return "random-step";
+    case WalkDecision::kAbort: return "abort";
   }
   return "?";
 }
@@ -26,16 +27,43 @@ TreeWalk::TreeWalk(Session& session, WalkObserver* observer)
       scratch_(session.walk_scratch()),
       observer_(observer) {}
 
+net::HostId TreeWalk::normalize_start(net::HostId joiner,
+                                      net::HostId start) const {
+  net::HostId cur = start;
+  const Membership& tree = session_.tree();
+  if (!session_.eligible_parent(joiner, cur) ||
+      !tree.subtree_has_capacity(cur, joiner)) {
+    cur = session_.source();
+  }
+  VDM_REQUIRE(session_.eligible_parent(joiner, cur));
+  return cur;
+}
+
 void TreeWalk::begin(net::HostId joiner, net::HostId start) {
   joiner_ = joiner;
-  cur_ = start;
+  cur_ = normalize_start(joiner, start);
   step_index_ = 0;
-  Membership& tree = session_.tree();
-  if (!session_.eligible_parent(joiner_, cur_) ||
-      !tree.subtree_has_capacity(cur_, joiner_)) {
-    cur_ = session_.source();
-  }
-  VDM_REQUIRE(session_.eligible_parent(joiner_, cur_));
+}
+
+void TreeWalk::resume(net::HostId joiner, net::HostId cur, int step_index) {
+  joiner_ = joiner;
+  cur_ = cur;
+  step_index_ = step_index;
+}
+
+TreeWalk::Action TreeWalk::step_once(PipelineSupport& support, PolicySlot& slot,
+                                     OpStats& stats) {
+  next_step(stats);
+  const Action action = support.step(*this, slot, stats);
+  report(action);
+  if (action.kind == Action::Kind::kDescend) cur_ = action.node;
+  return action;
+}
+
+TreeWalk::Action TreeWalk::no_capacity() const {
+  if (allow_abort_) return Action::aborted();
+  VDM_REQUIRE_MSG(false, "walk entered a subtree without capacity");
+  return Action::aborted();  // unreachable
 }
 
 void TreeWalk::next_step(OpStats& stats) {
@@ -85,6 +113,17 @@ std::span<const double> TreeWalk::probe_kids(OpStats& stats) {
 
 bool TreeWalk::can_accept(net::HostId candidate) const {
   const Membership& tree = session_.tree();
+  if (reserved_ != nullptr) {
+    // Pipeline path: slots reserved by stopped-but-uncommitted walkers are
+    // already spoken for. Every reservation converts into a link (or is
+    // released) before the reserving walker's next turn, so links +
+    // reservations never over-counts a slot twice.
+    const MemberState& m = tree.member(candidate);
+    if (m.overlay_links() + (*reserved_)[candidate] < m.degree_limit) {
+      return true;
+    }
+    return tree.member(joiner_).parent == candidate;
+  }
   return tree.member(candidate).has_free_degree() ||
          tree.member(joiner_).parent == candidate;
 }
@@ -127,9 +166,33 @@ TreeWalk::Action TreeWalk::descend_closest_capacity(
       best_any = kids[i];
     }
   }
-  VDM_REQUIRE_MSG(best_any != net::kInvalidHost,
-                  "walk entered a subtree without capacity");
+  if (best_any == net::kInvalidHost) return no_capacity();
   return Action::descend(WalkDecision::kCapacityDescend, best_any, best_any_d);
+}
+
+std::span<const WalkAdoption> PipelineSupport::adoptions(
+    const PolicySlot&) const {
+  return {};
+}
+
+bool PipelineSupport::commit(Session& session, net::HostId joiner,
+                             net::HostId parent, double parent_dist,
+                             bool parent_has_dist,
+                             std::span<const WalkAdoption> /*adoptions*/,
+                             OpStats& stats) {
+  Membership& tree = session.tree();
+  if (!tree.member(parent).has_free_degree() &&
+      tree.member(joiner).parent != parent) {
+    return false;  // reservation race lost after all — retry
+  }
+  // Same order as the sequential joins: BTP/Random measure the parent after
+  // the walk, then everyone pays the connection handshake and attaches.
+  double d = parent_dist;
+  if (!parent_has_dist) d = session.measure(joiner, parent, stats);
+  session.charge_exchange(joiner, parent, stats);
+  tree.attach(joiner, parent, d);
+  stats.parent_changed = true;
+  return true;
 }
 
 }  // namespace vdm::overlay

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <new>
 #include <span>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "net/types.hpp"
@@ -11,6 +14,7 @@
 namespace vdm::overlay {
 
 class Session;
+class PipelineSupport;
 
 /// One Case-II adoption decided during a walk: the joiner takes `child`'s
 /// slot under the current node and re-parents `child` (measured
@@ -19,6 +23,52 @@ class Session;
 struct WalkAdoption {
   net::HostId child;
   double dist;
+};
+
+/// Fixed-size storage for one in-flight walker's protocol step-policy state
+/// (the pipeline's placement-new target). Policies are small trivially
+/// destructible structs (references + a few scalars); 64 bytes holds the
+/// largest (VDM's) with room to spare, and keeping the state inline in the
+/// walker table means a batch of thousands of concurrent walks allocates
+/// nothing per walker.
+struct PolicySlot {
+  alignas(16) std::byte bytes[64];
+};
+
+/// One arrival queued for the next concurrent-join drain.
+struct PendingJoin {
+  net::HostId host = net::kInvalidHost;
+  int degree_limit = 0;
+};
+
+/// Lifecycle of one concurrent-join walker inside a drain.
+enum class JoinPhase : std::uint8_t {
+  kStart,   ///< locate an entry node and initialize the step policy
+  kWalk,    ///< one walk iteration per turn
+  kCommit,  ///< reservation held; validate and attach next turn
+};
+
+/// Per-walker state of the concurrent join pipeline. Everything a suspended
+/// walk needs to resume lives here (position, policy slot, accumulated
+/// stats, the decided stop), flat and reusable across drains.
+struct JoinWalker {
+  net::HostId host = net::kInvalidHost;
+  int degree_limit = 0;
+  net::HostId cur = net::kInvalidHost;
+  int step_index = 0;
+  JoinPhase phase = JoinPhase::kStart;
+  OpStats stats;
+  /// Stop result (valid in kCommit): chosen parent and its measured
+  /// distance when the stopping policy had probed it.
+  net::HostId parent = net::kInvalidHost;
+  double parent_dist = 0.0;
+  bool parent_has_dist = false;
+  /// This walker's slice of WalkScratch::adoption_pool (VDM Case II
+  /// adoptions copied out of the shared scratch at stop time, before the
+  /// next walker's turn clobbers it).
+  std::uint32_t adoptions_off = 0;
+  std::uint32_t adoptions_len = 0;
+  PolicySlot slot;
 };
 
 /// Reusable buffers of the tree-walk engine. One instance lives on each
@@ -36,12 +86,34 @@ struct WalkScratch {
   /// Case-II adoption candidates / decided adoptions (VDM).
   std::vector<WalkAdoption> adoptions;
 
+  // --- concurrent join pipeline pools (join_mode == kConcurrent) ----------
+  /// Arrivals queued since the last drain (one drain event per timestamp
+  /// services the whole batch, so the result is invariant to how callers
+  /// group same-time join() calls).
+  std::vector<PendingJoin> pending_joins;
+  /// Walker table of the current drain, indexed by the queues below.
+  std::vector<JoinWalker> walkers;
+  /// Round-robin turn queue (FIFO via head cursor; indices into walkers).
+  std::vector<std::uint32_t> queue;
+  /// Walkers parked after a capacity abort, woken FIFO as commits free or
+  /// create slots.
+  std::vector<std::uint32_t> parked;
+  /// Per-host count of slots reserved by stopped-but-uncommitted walkers.
+  std::vector<int> reserved;
+  /// Stable copies of each walker's decided adoptions (see JoinWalker).
+  std::vector<WalkAdoption> adoption_pool;
+
   /// Heap bytes currently reserved — folded into RunScratch::capacity_bytes
   /// so the arena grow gate (arena_grow_per_iter == 0) covers the walk path.
   std::size_t capacity_bytes() const {
     return (kids.capacity() + targets.capacity()) * sizeof(net::HostId) +
            dist.capacity() * sizeof(double) +
-           adoptions.capacity() * sizeof(WalkAdoption);
+           (adoptions.capacity() + adoption_pool.capacity()) *
+               sizeof(WalkAdoption) +
+           pending_joins.capacity() * sizeof(PendingJoin) +
+           walkers.capacity() * sizeof(JoinWalker) +
+           (queue.capacity() + parked.capacity()) * sizeof(std::uint32_t) +
+           reserved.capacity() * sizeof(int);
   }
 };
 
@@ -58,6 +130,8 @@ enum class WalkDecision {
   kCapacityDescend,    ///< saturated fallback: descend into the closest
                        ///< subtree that still has an attachment point
   kRandomStep,         ///< Random: uniform step to a capacity-bearing child
+  kAbort,              ///< pipeline only: walk dead-ended on reserved
+                       ///< capacity; the walker parks and retries later
 };
 
 std::string_view walk_decision_name(WalkDecision decision);
@@ -123,7 +197,7 @@ class TreeWalk {
 
   /// A policy's verdict for one iteration.
   struct Action {
-    enum class Kind { kDescend, kStop };
+    enum class Kind { kDescend, kStop, kAbort };
     Kind kind = Kind::kStop;
     WalkDecision decision = WalkDecision::kAttach;
     net::HostId node = net::kInvalidHost;
@@ -141,6 +215,11 @@ class TreeWalk {
     }
     static Action stop(WalkDecision decision, net::HostId parent, double dist) {
       return {Kind::kStop, decision, parent, dist, true};
+    }
+    /// Pipeline dead-end: every reachable slot is reserved by another
+    /// in-flight walker. Only produced when allow_abort() is on.
+    static Action aborted() {
+      return {Kind::kAbort, WalkDecision::kAbort, net::kInvalidHost, 0.0, false};
     }
   };
 
@@ -203,6 +282,43 @@ class TreeWalk {
   /// back the adoption spans a join plan carries).
   std::vector<WalkAdoption>& adoptions_scratch() { return scratch_.adoptions; }
 
+  // --- concurrent-pipeline seams (overlay/session.cpp drain loop) ---------
+
+  /// Start normalization as a pure function: where a walk for `joiner`
+  /// contacted at `start` actually begins (the source when `start` is
+  /// ineligible or its subtree has no attachment point left).
+  net::HostId normalize_start(net::HostId joiner, net::HostId start) const;
+
+  /// Re-binds the engine to a suspended walker's position without the
+  /// begin() normalization; the drain loop calls this before every turn
+  /// (walkers share one engine and one scratch — turns are serialized).
+  void resume(net::HostId joiner, net::HostId cur, int step_index);
+
+  /// One pipeline walk iteration: prologue (info exchange + child
+  /// enumeration), one policy step through `support`, observer report, and
+  /// the descend move. The caller persists cur()/step_index() back into its
+  /// walker on kDescend and handles kStop/kAbort.
+  Action step_once(PipelineSupport& support, PolicySlot& slot, OpStats& stats);
+
+  int step_index() const { return step_index_; }
+
+  /// Binds (or clears, with nullptr) the pipeline's per-host reservation
+  /// counts: while bound, can_accept() treats reserved slots as occupied,
+  /// so two in-flight walkers can never be granted the same slot. Unbound
+  /// (the sequential path) is bit-identical to the pre-pipeline predicate.
+  void bind_reservations(const std::vector<int>* reserved) {
+    reserved_ = reserved;
+  }
+
+  /// While on, capacity dead-ends return Action::aborted() instead of
+  /// failing the walk invariant — in a concurrent batch a subtree's last
+  /// slots can legitimately be reserved out from under a walker mid-walk.
+  void allow_abort(bool allow) { allow_abort_ = allow; }
+
+  /// The dead-end verdict shared by the step policies: abort when allowed,
+  /// otherwise the sequential invariant failure.
+  Action no_capacity() const;
+
  private:
   /// Start normalization: restart from the source when the contacted node
   /// is ineligible or its subtree has no attachment point left (e.g. a
@@ -222,9 +338,92 @@ class TreeWalk {
   net::HostId cur_ = net::kInvalidHost;
   int step_index_ = 0;
   int step_probes_ = 0;
+  const std::vector<int>* reserved_ = nullptr;
+  bool allow_abort_ = false;
   /// Offset of kid distances inside scratch_.dist for the last probe call
   /// (1 when cur() was probed first, 0 otherwise).
   std::size_t kid_dist_offset_ = 0;
+};
+
+/// A protocol's adapter to the concurrent join pipeline (Session's drain
+/// loop). The sequential path runs each protocol's step policy to
+/// completion inside TreeWalk::run; the pipeline instead advances many
+/// suspended walks one iteration per turn, so the policy state must live
+/// outside the stack — in the walker's PolicySlot, placement-new'ed by
+/// start() and advanced by step(). Policies stay the exact structs the
+/// sequential path uses; this interface only re-homes them.
+///
+/// commit() runs one turn after the stop decision, with the slot reserved
+/// in between: it re-validates what other walkers may have invalidated
+/// (VDM adoptions racing for the same child) and performs the attach,
+/// charging the same messages the sequential path would. Returns false when
+/// the commit can no longer proceed — the walker releases its reservation
+/// and restarts (optimistic retry).
+class PipelineSupport {
+ public:
+  virtual ~PipelineSupport() = default;
+
+  /// Placement-new the protocol's step policy into `slot` (called once per
+  /// walk attempt, after the walker's position is normalized). May probe
+  /// (HMTP measures d(N, cur) up front).
+  virtual void start(TreeWalk& walk, PolicySlot& slot, OpStats& stats) = 0;
+
+  /// One policy iteration over the slot's state (TreeWalk::step_once has
+  /// already run the per-hop prologue).
+  virtual TreeWalk::Action step(TreeWalk& walk, PolicySlot& slot,
+                                OpStats& stats) = 0;
+
+  /// The adoptions decided by the stop returned from step(), viewing the
+  /// shared walk scratch — the drain copies them out before the next turn.
+  /// Default: protocols without splices adopt nothing.
+  virtual std::span<const WalkAdoption> adoptions(const PolicySlot& slot) const;
+
+  /// Validate + attach `joiner` under the stopped-at parent. The default
+  /// covers HMTP/BTP/Random: measure the parent distance if the stop had
+  /// not, charge the connection handshake, attach. VDM overrides to splice.
+  virtual bool commit(Session& session, net::HostId joiner,
+                      net::HostId parent, double parent_dist,
+                      bool parent_has_dist,
+                      std::span<const WalkAdoption> adoptions, OpStats& stats);
+};
+
+/// CRTP base implementing PipelineSupport's start()/step() for a protocol
+/// whose sequential step policy is a small trivially destructible struct —
+/// which all four are. The derived adapter supplies only
+///
+///   Policy make_policy(TreeWalk& walk) const;
+///
+/// returning the policy initialized for walk.joiner(); it is placement-new'ed
+/// into the walker's PolicySlot (no destruction needed — the slot is reused
+/// by overwriting). Protocols with splices or commit-time re-validation
+/// additionally override adoptions() / commit().
+template <typename Derived, typename Policy>
+class PolicyPipeline : public PipelineSupport {
+ public:
+  void start(TreeWalk& walk, PolicySlot& slot, OpStats& stats) override {
+    static_assert(sizeof(Policy) <= sizeof(PolicySlot::bytes),
+                  "step policy does not fit the walker's PolicySlot");
+    static_assert(alignof(Policy) <= alignof(PolicySlot),
+                  "step policy over-aligned for the walker's PolicySlot");
+    static_assert(std::is_trivially_destructible_v<Policy>,
+                  "walker slots are reused without running destructors");
+    Policy* policy = ::new (static_cast<void*>(slot.bytes))
+        Policy(static_cast<const Derived*>(this)->make_policy(walk));
+    policy->on_start(walk, stats);
+  }
+
+  TreeWalk::Action step(TreeWalk& walk, PolicySlot& slot,
+                        OpStats& stats) override {
+    return policy_of(slot).step(walk, stats);
+  }
+
+ protected:
+  static Policy& policy_of(PolicySlot& slot) {
+    return *std::launder(reinterpret_cast<Policy*>(slot.bytes));
+  }
+  static const Policy& policy_of(const PolicySlot& slot) {
+    return *std::launder(reinterpret_cast<const Policy*>(slot.bytes));
+  }
 };
 
 }  // namespace vdm::overlay

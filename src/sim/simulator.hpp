@@ -70,6 +70,29 @@ class Simulator {
   /// Total events executed since construction (for micro-benchmarks).
   std::uint64_t executed() const { return executed_; }
 
+  /// Returns the simulator to its just-constructed state — clock at zero,
+  /// queue empty — while keeping the slab and heap capacity a previous run
+  /// grew. Never call from inside a callback. This is what lets a RunScratch
+  /// shuttle one Simulator through back-to-back runs allocation-free.
+  void reset() {
+    slots_.clear();
+    heap_.clear();
+    free_head_ = kNoSlot;
+    now_ = kTimeZero;
+    next_seq_ = 1;
+    executed_ = 0;
+    firing_slot_ = kNoSlot;
+    firing_cancelled_ = false;
+    firing_rearm_ = false;
+    firing_rearm_at_ = kTimeZero;
+  }
+
+  /// Heap bytes reserved by the slab and heap (arena accounting).
+  std::size_t capacity_bytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           heap_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 

@@ -39,6 +39,7 @@ MainController::MainController(sim::Simulator& simulator,
   sp.source_degree_limit = params.source_degree;
   sp.chunk_rate = params.chunk_rate;
   sp.faults = params.faults;
+  sp.join_mode = params.join_mode;
   session_ = std::make_unique<overlay::Session>(simulator, underlay, protocol,
                                                 metric, sp, rng);
   collector_ = std::make_unique<metrics::Collector>(*session_);
@@ -47,6 +48,20 @@ MainController::MainController(sim::Simulator& simulator,
 SessionReport MainController::run(const Scenario& scenario) {
   VDM_REQUIRE_MSG(!scenario.events.empty(), "scenario has no events");
   session_->start();
+
+  // Flash bursts name a count, not hosts: expand over the ids unused
+  // anywhere else in the scenario (and not the source), in increasing
+  // order — a pure function of the scenario text, so replays match.
+  std::vector<char> used(underlay_.num_hosts(), 0);
+  used[session_->source()] = 1;
+  for (const ScenarioEvent& e : scenario.events) {
+    if (e.action != ScenarioEvent::Action::kFlash &&
+        e.action != ScenarioEvent::Action::kTerminate &&
+        e.node < used.size()) {
+      used[e.node] = 1;
+    }
+  }
+  net::HostId flash_cursor = 0;
 
   for (const ScenarioEvent& e : scenario.events) {
     switch (e.action) {
@@ -58,6 +73,15 @@ SessionReport MainController::run(const Scenario& scenario) {
         break;
       case ScenarioEvent::Action::kCrash:
         sim_.schedule_at(e.at, [this, e] { session_->crash(e.node); });
+        break;
+      case ScenarioEvent::Action::kFlash:
+        for (net::HostId burst = 0; burst < e.node; ++burst) {
+          while (flash_cursor < used.size() && used[flash_cursor]) ++flash_cursor;
+          VDM_REQUIRE_MSG(flash_cursor < used.size(),
+                          "flash burst exceeds unused hosts in the underlay");
+          const net::HostId h = flash_cursor++;
+          sim_.schedule_at(e.at, [this, h, e] { session_->join(h, e.degree_limit); });
+        }
         break;
       case ScenarioEvent::Action::kTerminate:
         break;  // implicit: run_until(end_time)

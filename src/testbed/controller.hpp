@@ -48,6 +48,9 @@ struct ControllerParams {
   /// into the underlying Session — the testbed's flaky-node story and the
   /// simulator's share one path. Defaults are all-off.
   overlay::FaultParams faults;
+  /// Join pipeline for the session (DESIGN.md §10) — scenario flash bursts
+  /// are only worth their name under kConcurrent.
+  overlay::JoinMode join_mode = overlay::JoinMode::kSequential;
 };
 
 /// End-of-session report — the aggregate the paper's "result calculator"

@@ -90,6 +90,15 @@ Scenario generate_scenario(const ScenarioSpec& spec, util::Rng& rng) {
     available.insert(available.begin(), slot_victims.begin(), slot_victims.end());
   }
 
+  // Flash crowd: a single burst event; the executor picks the concrete
+  // hosts (ids unused elsewhere in the scenario), so the generated stream
+  // stays identical to the flash-free one up to this trailing line.
+  if (spec.flash_count > 0) {
+    sc.events.push_back({spec.flash_at,
+                         static_cast<net::HostId>(spec.flash_count),
+                         ScenarioEvent::Action::kFlash, draw_degree()});
+  }
+
   sc.normalize();
   return sc;
 }
@@ -108,6 +117,9 @@ void write_scenario(const Scenario& scenario, std::ostream& os) {
         break;
       case ScenarioEvent::Action::kCrash:
         os << e.at << " crash " << e.node << '\n';
+        break;
+      case ScenarioEvent::Action::kFlash:
+        os << e.at << " flash " << e.node << ' ' << e.degree_limit << '\n';
         break;
       case ScenarioEvent::Action::kTerminate:
         os << e.at << " terminate\n";
@@ -150,6 +162,15 @@ Scenario parse_scenario(std::istream& is) {
                       "scenario line " + std::to_string(line_no) + ": crash needs a node");
       e.node = static_cast<net::HostId>(node);
       e.action = ScenarioEvent::Action::kCrash;
+    } else if (action == "flash") {
+      std::uint64_t count = 0;
+      VDM_REQUIRE_MSG(static_cast<bool>(ls >> count) && count > 0,
+                      "scenario line " + std::to_string(line_no) +
+                          ": flash needs a positive count");
+      e.node = static_cast<net::HostId>(count);
+      e.action = ScenarioEvent::Action::kFlash;
+      int degree = 4;
+      if (ls >> degree) e.degree_limit = degree;
     } else if (action == "terminate") {
       e.action = ScenarioEvent::Action::kTerminate;
     } else {

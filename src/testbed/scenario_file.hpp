@@ -13,8 +13,10 @@ namespace vdm::testbed {
 /// One line of a testbed scenario — the dissertation's scenario files tell
 /// "time, node and action for each event" (§5.2.2).
 struct ScenarioEvent {
-  enum class Action { kJoin, kLeave, kCrash, kTerminate };
+  enum class Action { kJoin, kLeave, kCrash, kFlash, kTerminate };
   sim::Time at = 0.0;
+  /// For kFlash this is the burst size, not a host id: the executor joins
+  /// that many hosts unused anywhere else in the scenario, all at `at`.
   net::HostId node = net::kInvalidHost;
   Action action = Action::kJoin;
   /// Degree limit assigned at join time (ignored for other actions).
@@ -44,6 +46,10 @@ struct ScenarioSpec {
   /// generated event stream identical to the all-graceful one.
   double crash_fraction = 0.0;
   int degree_min = 4, degree_max = 4;
+  /// Flash crowd: one kFlash event of `flash_count` burst arrivals at
+  /// `flash_at`, on top of the steady membership. 0 disables.
+  std::size_t flash_count = 0;
+  sim::Time flash_at = 0.0;
 };
 
 /// Deterministically generates a scenario from the spec (the role of the
@@ -51,7 +57,7 @@ struct ScenarioSpec {
 Scenario generate_scenario(const ScenarioSpec& spec, util::Rng& rng);
 
 /// Text round-trip: "<time> <join|leave|crash|terminate> <node> [degree]"
-/// lines, '#' comments allowed.
+/// lines plus "<time> flash <count> [degree]" bursts, '#' comments allowed.
 void write_scenario(const Scenario& scenario, std::ostream& os);
 Scenario parse_scenario(std::istream& is);
 Scenario parse_scenario(const std::string& text);

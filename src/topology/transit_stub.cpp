@@ -19,11 +19,15 @@ double pick_loss(util::Rng& rng, double lo, double hi) {
 
 /// Connects `members` into a random spanning tree (uniform attachment order)
 /// and sprinkles extra edges with probability `extra_prob` per absent pair.
+/// `order` is caller-provided scratch (one buffer serves every domain of a
+/// generation, so the ~100 domains of a default graph cost zero allocations
+/// once it is warm).
 void connect_domain(net::Graph& graph, const std::vector<net::NodeId>& members,
                     double extra_prob, double delay_lo, double delay_hi,
-                    double loss_lo, double loss_hi, util::Rng& rng) {
+                    double loss_lo, double loss_hi, util::Rng& rng,
+                    std::vector<net::NodeId>& order) {
   if (members.size() <= 1) return;
-  std::vector<net::NodeId> order = members;
+  order.assign(members.begin(), members.end());
   rng.shuffle(order);
   for (std::size_t i = 1; i < order.size(); ++i) {
     const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
@@ -59,6 +63,9 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
   topo.stub_domain_of.clear();
   net::Graph& g = topo.graph;
 
+  // Domain-shuffle scratch shared by every connect_domain call below.
+  std::vector<net::NodeId> order;
+
   // 1. Transit domains.
   std::vector<std::vector<net::NodeId>> transit(p.transit_domains);
   for (auto& domain : transit) {
@@ -70,7 +77,8 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
       topo.stub_domain_of.push_back(~0u);
     }
     connect_domain(g, domain, p.intra_domain_edge_prob, p.transit_transit_delay_min,
-                   p.transit_transit_delay_max, p.loss_min, p.loss_max, rng);
+                   p.transit_transit_delay_max, p.loss_min, p.loss_max, rng,
+                   order);
   }
 
   // 2. Inter-transit-domain links: a ring guarantees connectivity, extra
@@ -99,11 +107,13 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
     }
   }
 
-  // 3. Stub domains hanging off each transit router.
+  // 3. Stub domains hanging off each transit router. One member buffer
+  //    serves every stub domain.
   std::uint32_t stub_domain_index = 0;
+  std::vector<net::NodeId> stub;
   for (const net::NodeId anchor : topo.transit_routers) {
     for (std::size_t s = 0; s < p.stub_domains_per_transit_router; ++s) {
-      std::vector<net::NodeId> stub;
+      stub.clear();
       stub.reserve(p.routers_per_stub);
       for (std::size_t i = 0; i < p.routers_per_stub; ++i) {
         const net::NodeId v = g.add_node();
@@ -112,7 +122,7 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
         topo.stub_domain_of.push_back(stub_domain_index);
       }
       connect_domain(g, stub, p.intra_domain_edge_prob, p.stub_stub_delay_min,
-                     p.stub_stub_delay_max, p.loss_min, p.loss_max, rng);
+                     p.stub_stub_delay_max, p.loss_min, p.loss_max, rng, order);
       // Gateway link from the stub domain up to its transit router.
       g.add_link(random_member(stub), anchor,
                  pick_delay(rng, p.transit_stub_delay_min, p.transit_stub_delay_max),

@@ -118,6 +118,10 @@ std::string Summary::to_string() const {
 }
 
 double percentile(std::vector<double> samples, double p) {
+  return percentile_inplace(samples, p);
+}
+
+double percentile_inplace(std::vector<double>& samples, double p) {
   VDM_REQUIRE(!samples.empty());
   VDM_REQUIRE(p >= 0.0 && p <= 1.0);
   std::sort(samples.begin(), samples.end());

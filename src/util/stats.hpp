@@ -59,4 +59,8 @@ Summary summarize(const std::vector<double>& samples, double confidence = 0.90);
 /// p-th percentile (p in [0,1]) by linear interpolation; requires non-empty.
 double percentile(std::vector<double> samples, double p);
 
+/// Same, but sorts `samples` in place — the arena-friendly variant for
+/// callers that own a reusable buffer (no copy, no allocation).
+double percentile_inplace(std::vector<double>& samples, double p);
+
 }  // namespace vdm::util

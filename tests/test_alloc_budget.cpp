@@ -83,10 +83,11 @@ TEST(AllocBudget, SteadyStateArenaRunStaysUnderBudget) {
   EXPECT_EQ(scratch.grow_events(), grows_before)
       << "a warm arena grew during a repeat run of the same shape";
   // Fixed per-run constructions only — independent of member count, churn
-  // volume and chunk count. Observed steady state is ~320 (Session
-  // internals, protocol/metric objects, timing-record handoff); budget is
-  // ~3x that, an order of magnitude below the pre-arena ~1.8k.
-  constexpr std::uint64_t kBudget = 1000;
+  // volume and chunk count. Observed steady state is ~80 (Session
+  // internals, protocol/metric objects, timing-record handoff, MST
+  // baseline); the budget leaves ~60% headroom and sits more than an order
+  // of magnitude below the pre-arena ~1.8k.
+  constexpr std::uint64_t kBudget = 128;
   EXPECT_LE(allocs, kBudget)
       << "steady-state run_once allocated " << allocs
       << " times; per-member or per-event allocation crept back in";
@@ -108,7 +109,7 @@ TEST(AllocBudget, CoordSubstrateStaysUnderBudgetToo) {
   const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - before;
 
   EXPECT_EQ(scratch.grow_events(), grows_before);
-  constexpr std::uint64_t kBudget = 1000;  // observed ~150: no matrix refill
+  constexpr std::uint64_t kBudget = 128;  // observed ~60: no matrix refill
   EXPECT_LE(allocs, kBudget);
 }
 

@@ -173,6 +173,32 @@ TEST(ScenarioFile, CrashVerbRoundTrips) {
   EXPECT_THROW(parse_scenario("1.0 crash\n"), util::InvariantError);
 }
 
+TEST(ScenarioFile, FlashVerbRoundTrips) {
+  ScenarioSpec spec = small_spec();
+  spec.flash_count = 12;
+  spec.flash_at = 100.0;
+  util::Rng rng(29);
+  const Scenario sc = generate_scenario(spec, rng);
+  std::ostringstream os;
+  write_scenario(sc, os);
+  EXPECT_NE(os.str().find(" flash "), std::string::npos);
+  const Scenario back = parse_scenario(os.str());
+  ASSERT_EQ(back.events.size(), sc.events.size());
+  bool saw_flash = false;
+  for (std::size_t i = 0; i < sc.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].action, sc.events[i].action);
+    EXPECT_EQ(back.events[i].node, sc.events[i].node);
+    if (sc.events[i].action == ScenarioEvent::Action::kFlash) {
+      saw_flash = true;
+      EXPECT_EQ(sc.events[i].at, 100.0);
+      EXPECT_EQ(sc.events[i].node, 12u);  // node carries the burst count
+    }
+  }
+  EXPECT_TRUE(saw_flash);
+  EXPECT_THROW(parse_scenario("1.0 flash\n"), util::InvariantError);
+  EXPECT_THROW(parse_scenario("1.0 flash 0\n"), util::InvariantError);
+}
+
 TEST(ScenarioFile, ParserHandlesCommentsAndBlanks) {
   const Scenario sc = parse_scenario(
       "# a comment\n"
@@ -314,6 +340,37 @@ TEST(Controller, WorksWithHmtpToo) {
   const SessionReport report = controller.run(sc);
   EXPECT_EQ(report.final_tree.members, 11u);
   EXPECT_GT(report.totals.refines_run, 0u);  // HMTP refinement timers fired
+}
+
+TEST(Controller, FlashBurstExpandsOverUnusedHosts) {
+  // A hand-written scenario: 8 warmup joins, then a 15-strong flash burst.
+  // The controller must expand the burst over host ids used nowhere else
+  // in the scenario and attach every one of them.
+  util::Rng rng(31);
+  PoolParams pp;
+  pp.num_nodes = 40;
+  pp.frac_unresponsive = pp.frac_no_ping_out = pp.frac_agent_broken = 0.0;
+  const NodePool pool = make_pool(pp, topo::us_regions(), rng);
+  Scenario sc;
+  for (net::HostId h = 1; h <= 8; ++h) {
+    sc.events.push_back({static_cast<double>(h), h, ScenarioEvent::Action::kJoin, 4});
+  }
+  sc.events.push_back({20.0, 15, ScenarioEvent::Action::kFlash, 4});
+  sc.end_time = 120.0;
+  sc.normalize();
+
+  sim::Simulator simulator;
+  core::VdmProtocol vdm;
+  overlay::DelayMetric metric;
+  ControllerParams cp;
+  cp.join_mode = overlay::JoinMode::kConcurrent;
+  MainController controller(simulator, pool.topology.underlay, vdm, metric, cp,
+                            util::Rng(32));
+  const SessionReport report = controller.run(sc);
+
+  EXPECT_EQ(report.final_tree.members, 24u);  // source + 8 warmup + 15 flash
+  EXPECT_EQ(report.totals.joins_completed, 23u);
+  EXPECT_GE(report.startup_times.size(), 23u);
 }
 
 TEST(FlakyMetric, SlowsMeasurementsOfLazyTargets) {

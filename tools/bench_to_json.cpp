@@ -5,9 +5,10 @@
 //
 //   ./build/bench/bench_e2e | ./build/tools/bench_to_json --label fastpath
 //
-// --require <substring> makes the conversion fail unless some parsed row
-// name contains the substring — use it to guarantee a mandatory benchmark
-// (e.g. the crash-churn run) actually made it into the trajectory.
+// --require <substring>[,<substring>...] makes the conversion fail unless
+// every listed substring matches some parsed row name — use it to guarantee
+// mandatory benchmarks (e.g. the crash-churn and flash-crowd runs) actually
+// made it into the trajectory.
 //
 // --max-regress <pct> is the perf gate: before recording, every parsed row
 // is compared against the most recent trajectory entry with a different
@@ -273,17 +274,24 @@ int main(int argc, char** argv) {
     std::cerr << "bench_to_json: no benchmark rows found in input\n";
     return 1;
   }
+  // Comma-separated list; every substring must match some parsed row.
   const std::string required = flags.get("require", "");
-  if (!required.empty()) {
+  for (std::size_t pos = 0; pos < required.size();) {
+    const std::size_t comma = required.find(',', pos);
+    const std::string one =
+        required.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+    pos = comma == std::string::npos ? required.size() : comma + 1;
+    if (one.empty()) continue;
     bool found = false;
     for (const BenchRow& r : rows) {
-      if (r.name.find(required) != std::string::npos) {
+      if (r.name.find(one) != std::string::npos) {
         found = true;
         break;
       }
     }
     if (!found) {
-      std::cerr << "bench_to_json: required benchmark '" << required
+      std::cerr << "bench_to_json: required benchmark '" << one
                 << "' missing from input\n";
       return 1;
     }

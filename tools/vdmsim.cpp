@@ -41,6 +41,12 @@ int usage() {
       "  --degree-avg fractional average degree (overrides min/max)\n"
       "  --join-phase / --total-time / --interval / --settle  timeline (s)\n"
       "  --chunk-rate data chunks per second                (default 1)\n"
+      "  --join-mode  sequential | locating | concurrent    (default sequential)\n"
+      "               locating: placement-index entry point; concurrent:\n"
+      "               locating + batched same-timestamp join pipeline\n"
+      "  --flash      N burst arrivals at one instant on top of --members\n"
+      "               (default 0; --flash-at sets the instant, default =\n"
+      "               end of the join phase)\n"
       "  --link-loss  per-link error ceiling                (default 0)\n"
       "  --probe-noise RTT measurement noise std-dev        (default 0)\n"
       "  --hmtp-period / --no-hmtp-refine / --foster-child  HMTP controls\n"
@@ -159,6 +165,21 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.get_int("degree-max", 5)));
   }
   cfg.session.chunk_rate = flags.get_double("chunk-rate", 1.0);
+  const std::string join_mode = flags.get("join-mode", "sequential");
+  if (join_mode == "sequential") {
+    cfg.session.join_mode = overlay::JoinMode::kSequential;
+  } else if (join_mode == "locating") {
+    cfg.session.join_mode = overlay::JoinMode::kLocating;
+  } else if (join_mode == "concurrent") {
+    cfg.session.join_mode = overlay::JoinMode::kConcurrent;
+  } else {
+    std::cerr << "unknown --join-mode '" << join_mode << "' (see --help)\n";
+    return 2;
+  }
+  cfg.scenario.flash_count =
+      static_cast<std::size_t>(flags.get_int("flash", 0));
+  cfg.scenario.flash_at =
+      flags.get_double("flash-at", cfg.scenario.join_phase);
   cfg.link_loss_max = flags.get_double("link-loss", 0.0);
   cfg.probe_noise = flags.get_double("probe-noise", 0.0);
   cfg.hmtp_refine_period = flags.get_double("hmtp-period", 30.0);
@@ -180,7 +201,8 @@ int main(int argc, char** argv) {
   // The MST-ratio baseline is an O(N^2) Prim pass over the final tree —
   // fine at paper scale, minutes at coordinate-substrate scale. Auto-off
   // above 4096 members; --mst / --no-mst override in either direction.
-  cfg.compute_mst_ratio = cfg.scenario.target_members <= 4096;
+  cfg.compute_mst_ratio =
+      cfg.scenario.target_members + cfg.scenario.flash_count <= 4096;
   if (flags.get_bool("mst", false)) cfg.compute_mst_ratio = true;
   if (flags.get_bool("no-mst", false)) cfg.compute_mst_ratio = false;
   if (!cfg.compute_mst_ratio && !flags.get_bool("no-mst", false) &&
@@ -229,6 +251,9 @@ int main(int argc, char** argv) {
   row("overhead", agg.overhead, 5);
   row("network_usage_s", agg.network_usage);
   row("startup_s", agg.startup_avg);
+  row("startup_p50_s", agg.startup_p50);
+  row("startup_p99_s", agg.startup_p99);
+  row("joins_per_sec", agg.join_rate, 2);
   row("reconnect_s", agg.reconnect_avg);
   if (cfg.scenario.crash_fraction > 0.0) {
     row("detection_s", agg.detection_avg);
