@@ -157,6 +157,47 @@ void BM_RunOnceArena(benchmark::State& state) {
 }
 BENCHMARK(BM_RunOnceArena)->Arg(200)->Unit(benchmark::kMillisecond);
 
+/// Trace-driven churn end to end: every iteration regenerates the Poisson
+/// workload (same seed, same event list) and replays it through
+/// ScenarioDriver::run_trace on the coordinate underlay. Measures the
+/// workload engine's full path — generation, event scheduling, sustained
+/// join/leave churn at Little's-law rate — on top of a warm arena.
+/// arena_grow_per_iter must be exactly 0: the event list, the driver pool
+/// and the collector slots all reach steady capacity on the warm run.
+void BM_ChurnTrace(benchmark::State& state) {
+  experiments::RunConfig cfg;
+  cfg.substrate = experiments::Substrate::kCoordPlane;
+  cfg.protocol = experiments::Proto::kVdm;
+  cfg.workload.kind = overlay::WorkloadKind::kPoisson;
+  cfg.workload.mean_session = 800.0;
+  cfg.scenario.target_members = static_cast<std::size_t>(state.range(0));
+  cfg.scenario.join_phase = 400.0;
+  cfg.scenario.total_time = 1200.0;
+  cfg.scenario.churn_interval = 200.0;
+  cfg.scenario.settle_time = 50.0;
+  cfg.session.chunk_rate = 0.1;
+  cfg.compute_mst_ratio = false;
+  cfg.seed = 7;
+  experiments::RunScratch scratch;
+  benchmark::DoNotOptimize(experiments::run_once(cfg, scratch));  // warm
+
+  const std::uint64_t grows_before = scratch.grow_events();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  std::size_t final_members = 0;
+  for (auto _ : state) {
+    experiments::RunResult r = experiments::run_once(cfg, scratch);
+    final_members = r.final_members;
+    benchmark::DoNotOptimize(r);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["final_members"] = static_cast<double>(final_members);
+  state.counters["arena_grow_per_iter"] =
+      static_cast<double>(scratch.grow_events() - grows_before) / iters;
+  state.counters["allocs_per_iter"] = static_cast<double>(allocs) / iters;
+}
+BENCHMARK(BM_ChurnTrace)->Arg(1024)->Unit(benchmark::kMillisecond);
+
 /// run_once on the coordinate-embedded underlay: delay is O(1) from host
 /// coordinates, so no router graph, no O(N^2) matrix, and run_once scales
 /// to overlays two orders of magnitude past the paper's 200 members. The

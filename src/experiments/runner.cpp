@@ -292,6 +292,23 @@ net::Underlay* build_underlay(const RunConfig& cfg, std::size_t pool,
 
 }  // namespace
 
+void workload_events(const RunConfig& config,
+                     std::vector<overlay::WorkloadEvent>& out) {
+  if (config.workload.kind == overlay::WorkloadKind::kTrace) {
+    overlay::load_trace_file(config.workload.trace_path, out);
+    return;
+  }
+  // Mirror run_once exactly: same seed derivation (scenario stream 2), same
+  // pool size, same source host, so the returned list is the one a run of
+  // this config executes.
+  util::Rng root(config.seed);
+  util::Rng scenario_rng = root.split(2);
+  const std::size_t pool =
+      config.host_pool > 0 ? config.host_pool : auto_pool(config.scenario);
+  overlay::generate_workload(config.scenario, config.workload, pool,
+                             /*source=*/0, scenario_rng, out);
+}
+
 RunResult run_once(const RunConfig& config) {
   RunScratch scratch;
   return run_once(config, scratch);
@@ -325,9 +342,28 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   session.swap_placement_index(scratch.impl_->placement);
   metrics::Collector collector(session, scratch.impl_->collector);
   {
+    const overlay::WorkloadKind wk = config.workload.kind;
+    if (wk != overlay::WorkloadKind::kSlots) {
+      // Fill the event list before the driver exists: generation consumes
+      // scenario_rng, and the driver draws nothing in trace mode, so a
+      // replayed trace reproduces the generating run bit for bit.
+      std::vector<overlay::WorkloadEvent>& events =
+          scratch.impl_->scenario.events;
+      if (wk == overlay::WorkloadKind::kTrace) {
+        overlay::load_trace_file(config.workload.trace_path, events);
+      } else {
+        overlay::generate_workload(config.scenario, config.workload, pool,
+                                   sp.source, scenario_rng, events);
+      }
+    }
     overlay::ScenarioDriver driver(session, config.scenario, scenario_rng,
                                    &scratch.impl_->scenario);
-    driver.run([&](sim::Time at) { collector.capture(at); });
+    const auto measure = [&](sim::Time at) { collector.capture(at); };
+    if (wk == overlay::WorkloadKind::kSlots) {
+      driver.run(measure);
+    } else {
+      driver.run_trace(scratch.impl_->scenario.events, measure);
+    }
   }  // the driver's destructor returns the pool buffers to the arena
   // Return the (now warm) walk buffers to the arena before the end-of-run
   // capacity accounting below.
@@ -388,6 +424,22 @@ RunResult run_once(const RunConfig& config, RunScratch& scratch) {
   if (config.keep_epochs) {
     const std::span<const metrics::EpochSample> epochs = collector.samples();
     r.epochs.assign(epochs.begin(), epochs.end());
+  }
+  if (config.keep_trajectory) {
+    r.trajectory.reserve(collector.samples().size());
+    for (const metrics::EpochSample& e : collector.samples()) {
+      TrajectoryPoint p;
+      p.at = e.at;
+      p.continuity = 1.0 - e.loss_rate;
+      p.overhead = e.overhead;
+      p.members = e.members;
+      if (!e.outage_times.empty()) {
+        double sum = 0.0;
+        for (const double d : e.outage_times) sum += d;
+        p.outage = sum / static_cast<double>(e.outage_times.size());
+      }
+      r.trajectory.push_back(p);
+    }
   }
   // Final metrics are read; return the warm tree to the arena so its
   // capacity survives into the next run (and is counted below).

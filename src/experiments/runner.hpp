@@ -7,6 +7,7 @@
 #include "metrics/collector.hpp"
 #include "overlay/scenario.hpp"
 #include "overlay/session.hpp"
+#include "overlay/workload.hpp"
 #include "util/stats.hpp"
 
 namespace vdm::experiments {
@@ -34,6 +35,11 @@ struct RunConfig {
 
   overlay::ScenarioParams scenario;
   overlay::SessionParams session;
+  /// Membership process. kSlots runs the classic churn-slot timeline
+  /// (bit-identical to before the workload engine existed); the synthetic
+  /// kinds generate a WorkloadEvent list from the scenario rng stream and
+  /// kTrace replays `workload.trace_path`, both via run_trace.
+  overlay::WorkloadParams workload;
 
   /// Host pool size; 0 = auto (enough spare hosts for churn joins).
   std::size_t host_pool = 0;
@@ -69,6 +75,9 @@ struct RunConfig {
   std::size_t epoch_skip = 1;
   /// Retain the full epoch series in the result (Chapter-4 time plots).
   bool keep_epochs = false;
+  /// Retain the per-measurement-point trajectory (continuity, outage,
+  /// overhead, member count) — the time-series view of workload runs.
+  bool keep_trajectory = false;
 
   /// Tracing hook: installed on the protocol so every tree walk (join,
   /// reconnect, refine) reports per-iteration steps (vdmsim --trace-joins).
@@ -76,6 +85,21 @@ struct RunConfig {
   overlay::WalkObserver* walk_observer = nullptr;
 
   std::uint64_t seed = 1;
+};
+
+/// One measurement point of a run's time series — the per-epoch view of the
+/// service a viewer experiences under a dynamic workload.
+struct TrajectoryPoint {
+  sim::Time at = 0.0;
+  /// Delivered fraction of expected chunks over the window (1 - loss_rate).
+  double continuity = 1.0;
+  /// Mean viewer-visible outage (detection + rejoin) of the window's crash
+  /// recoveries; 0 when none completed in the window.
+  double outage = 0.0;
+  /// Control messages per data transmission over the window (Eq. 3.6).
+  double overhead = 0.0;
+  /// Members alive in the tree at the measurement instant (incl. source).
+  std::size_t members = 0;
 };
 
 /// Scalars of one run: epoch means (after epoch_skip) plus event timings.
@@ -117,6 +141,7 @@ struct RunResult {
   std::size_t final_members = 0;
 
   std::vector<metrics::EpochSample> epochs;  // only if keep_epochs
+  std::vector<TrajectoryPoint> trajectory;   // only if keep_trajectory
 };
 
 /// Reusable per-worker working memory for run_once: topology construction
@@ -146,6 +171,13 @@ class RunScratch {
   friend RunResult run_once(const RunConfig& config, RunScratch& scratch);
   std::unique_ptr<Impl> impl_;
 };
+
+/// The exact WorkloadEvent list a non-slots `config` executes: generated
+/// kinds replay run_once's rng derivation (same seed, same pool → same
+/// events), kTrace loads the file. Lets callers save a run's trace
+/// (vdmsim --save-trace) knowing it matches the run bit for bit.
+void workload_events(const RunConfig& config,
+                     std::vector<overlay::WorkloadEvent>& out);
 
 /// Executes one seed end to end: build substrate, run scenario, measure.
 RunResult run_once(const RunConfig& config);

@@ -33,6 +33,7 @@ void Collector::capture(sim::Time at) {
   // The slot may hold a stale sample from a previous run on this arena:
   // every scalar is assigned, every vector rebuilt in place.
   e.at = at;
+  e.members = s.tree().alive_count();
   e.tree = measure_tree(s.tree(), s.source(), s.underlay(), sc.tree);
 
   const overlay::Session::Counters& w = s.window();

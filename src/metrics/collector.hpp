@@ -25,6 +25,9 @@ struct EpochSample {
 
   std::uint64_t control_messages = 0;
   std::uint64_t data_transmissions = 0;
+  /// Members alive in the tree at the measurement instant (incl. source) —
+  /// the membership axis of workload trajectories.
+  std::size_t members = 0;
 
   std::vector<double> startup_times;
   std::vector<double> reconnect_times;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/require.hpp"
 
@@ -62,7 +63,17 @@ ScenarioDriver::~ScenarioDriver() {
 }
 
 net::HostId ScenarioDriver::draw_available() {
-  VDM_REQUIRE_MSG(!available_.empty(), "host pool exhausted");
+  if (available_.empty()) {
+    // Joins outran departures: target_members + flash_count + the churn
+    // joiners still in flight exceed the underlay host pool.
+    VDM_REQUIRE_MSG(false,
+                    "host pool exhausted: target_members (" +
+                        std::to_string(params_.target_members) +
+                        ") + flash_count (" + std::to_string(params_.flash_count) +
+                        ") + in-flight churn joins exceed the " +
+                        std::to_string(session_.underlay().num_hosts()) +
+                        "-host underlay pool; enlarge host_pool / --nodes");
+  }
   const auto i = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(available_.size()) - 1));
   const net::HostId h = available_[i];
@@ -74,16 +85,21 @@ net::HostId ScenarioDriver::draw_available() {
 net::HostId ScenarioDriver::draw_victim() {
   // Pick an alive member that is not already scheduled to leave this slot.
   VDM_REQUIRE(!in_overlay_.empty());
-  for (int attempts = 0; attempts < 1000; ++attempts) {
+  if (pending_count_ >= in_overlay_.size()) {
+    return net::kInvalidHost;  // slot churn exceeds membership; skip this pair
+  }
+  // A non-pending member exists, so rejection sampling terminates; the draw
+  // sequence matches the historic capped loop on every path that succeeded.
+  for (;;) {
     const auto i = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(in_overlay_.size()) - 1));
     const net::HostId h = in_overlay_[i];
     if (!pending_leave_[h]) {
       pending_leave_[h] = 1;
+      ++pending_count_;
       return h;
     }
   }
-  return net::kInvalidHost;  // slot churn exceeds membership; give up politely
 }
 
 void ScenarioDriver::do_join(net::HostId h) {
@@ -91,21 +107,41 @@ void ScenarioDriver::do_join(net::HostId h) {
   in_overlay_.push_back(h);
 }
 
+void ScenarioDriver::do_join_traced(net::HostId h, int degree) {
+  // Membership is validated here, at event time, not when the trace is
+  // scheduled: a host may join, leave and rejoin within one trace.
+  VDM_REQUIRE_MSG(
+      std::find(in_overlay_.begin(), in_overlay_.end(), h) == in_overlay_.end(),
+      "trace joins host " + std::to_string(h) + " which is already a member");
+  session_.join(h, degree);
+  in_overlay_.push_back(h);
+}
+
 void ScenarioDriver::do_leave(net::HostId h) {
-  session_.leave(h);
-  pending_leave_[h] = 0;
+  // Validate membership before touching the session so a bad trace fails
+  // with the host id instead of a session-internal invariant.
   const auto it = std::find(in_overlay_.begin(), in_overlay_.end(), h);
-  VDM_REQUIRE(it != in_overlay_.end());
+  VDM_REQUIRE_MSG(it != in_overlay_.end(),
+                  "leave of host " + std::to_string(h) + " which is not a member");
+  session_.leave(h);
+  if (pending_leave_[h]) {
+    pending_leave_[h] = 0;
+    --pending_count_;
+  }
   *it = in_overlay_.back();
   in_overlay_.pop_back();
   available_.push_back(h);
 }
 
 void ScenarioDriver::do_crash(net::HostId h) {
-  session_.crash(h);
-  pending_leave_[h] = 0;
   const auto it = std::find(in_overlay_.begin(), in_overlay_.end(), h);
-  VDM_REQUIRE(it != in_overlay_.end());
+  VDM_REQUIRE_MSG(it != in_overlay_.end(),
+                  "crash of host " + std::to_string(h) + " which is not a member");
+  session_.crash(h);
+  if (pending_leave_[h]) {
+    pending_leave_[h] = 0;
+    --pending_count_;
+  }
   *it = in_overlay_.back();
   in_overlay_.pop_back();
   available_.push_back(h);
@@ -138,38 +174,64 @@ void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
   const std::size_t churn_count = static_cast<std::size_t>(
       std::llround(params_.churn_rate * static_cast<double>(params_.target_members)));
 
-  // Measurement after the join phase settles, before any churn.
-  sim.schedule_at(params_.join_phase + params_.settle_time,
-                  [this, &on_measure] { on_measure(session_.simulator().now()); });
+  schedule_measurement_grid(on_measure);
 
+  // Slot times come from the closed form first_slot + i * interval, not an
+  // accumulating `slot += interval`: over long horizons at short intervals
+  // the accumulated rounding error shifts (or drops) the final slot.
   const sim::Time first_slot = params_.join_phase + params_.settle_time;
-  for (sim::Time slot = first_slot; slot + params_.churn_interval <= params_.total_time;
-       slot += params_.churn_interval) {
+  for (std::size_t i = 0;; ++i) {
+    const sim::Time slot =
+        first_slot + static_cast<double>(i) * params_.churn_interval;
+    const sim::Time slot_end =
+        first_slot + static_cast<double>(i + 1) * params_.churn_interval;
+    if (!(slot_end <= params_.total_time)) break;
     const sim::Time active_span = params_.churn_interval - params_.settle_time;
     // Decide victims at slot start (so they are alive then); spread the
     // leave/join actions over the active part of the slot.
     sim.schedule_at(slot, [this, churn_count, active_span] {
       sim::Simulator& s = session_.simulator();
-      for (std::size_t i = 0; i < churn_count; ++i) {
+      for (std::size_t j = 0; j < churn_count; ++j) {
         const net::HostId victim = draw_victim();
-        if (victim != net::kInvalidHost) {
-          // crash_fraction == 0 short-circuits before chance(), leaving the
-          // rng stream of all-graceful runs untouched.
-          const bool crash = params_.crash_fraction > 0.0 &&
-                             rng_.chance(params_.crash_fraction);
-          if (crash) {
-            s.schedule_in(rng_.uniform(0.0, active_span),
-                          [this, victim] { do_crash(victim); });
-          } else {
-            s.schedule_in(rng_.uniform(0.0, active_span),
-                          [this, victim] { do_leave(victim); });
-          }
+        // A failed victim draw (slot churn >= membership) skips the whole
+        // replacement pair: joining anyway would creep membership above
+        // target_members, one host per failed draw, for the rest of the run.
+        if (victim == net::kInvalidHost) continue;
+        // crash_fraction == 0 short-circuits before chance(), leaving the
+        // rng stream of all-graceful runs untouched.
+        const bool crash = params_.crash_fraction > 0.0 &&
+                           rng_.chance(params_.crash_fraction);
+        if (crash) {
+          s.schedule_in(rng_.uniform(0.0, active_span),
+                        [this, victim] { do_crash(victim); });
+        } else {
+          s.schedule_in(rng_.uniform(0.0, active_span),
+                        [this, victim] { do_leave(victim); });
         }
         const net::HostId joiner = draw_available();
         s.schedule_in(rng_.uniform(0.0, active_span), [this, joiner] { do_join(joiner); });
       }
     });
-    sim.schedule_at(slot + params_.churn_interval,
+  }
+}
+
+void ScenarioDriver::schedule_measurement_grid(const MeasureFn& on_measure) {
+  sim::Simulator& sim = session_.simulator();
+  // Settled grid shared by the slot and trace timelines: one point after the
+  // join phase settles, then one at the end of every churn interval. Closed
+  // form per point — same grid at any horizon/interval ratio.
+  const sim::Time first_slot = params_.join_phase + params_.settle_time;
+  sim.schedule_at(first_slot,
+                  [this, &on_measure] { on_measure(session_.simulator().now()); });
+  for (std::size_t i = 0;; ++i) {
+    // The measurement closing slot i sits at first_slot + (i+1) * interval —
+    // the same closed form (and the same bound check) as the slot loop, so
+    // grid point i+1 and slot i+1's start coincide bitwise even at intervals
+    // like 0.1 where `slot + interval` rounds differently.
+    const sim::Time slot_end =
+        first_slot + static_cast<double>(i + 1) * params_.churn_interval;
+    if (!(slot_end <= params_.total_time)) break;
+    sim.schedule_at(slot_end,
                     [this, &on_measure] { on_measure(session_.simulator().now()); });
   }
 }
@@ -177,19 +239,52 @@ void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
 void ScenarioDriver::schedule_batched_joins(const MeasureFn& on_measure) {
   sim::Simulator& sim = session_.simulator();
   std::size_t scheduled = 0;
-  sim::Time slot = 0.0;
-  while (scheduled < params_.target_members) {
+  for (std::size_t i = 0; scheduled < params_.target_members; ++i) {
+    // Closed-form slot time, as in schedule_churn_slots.
+    const sim::Time slot = static_cast<double>(i) * params_.churn_interval;
     const std::size_t batch =
         std::min(params_.batch_size, params_.target_members - scheduled);
     const sim::Time active_span = params_.churn_interval - params_.settle_time;
-    for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < batch; ++j) {
       const net::HostId h = draw_available();
       sim.schedule_at(slot + rng_.uniform(0.001, active_span), [this, h] { do_join(h); });
     }
     sim.schedule_at(slot + params_.churn_interval,
                     [this, &on_measure] { on_measure(session_.simulator().now()); });
     scheduled += batch;
-    slot += params_.churn_interval;
+  }
+}
+
+void ScenarioDriver::schedule_trace_events(std::span<const WorkloadEvent> events) {
+  sim::Simulator& sim = session_.simulator();
+  const std::size_t num_hosts = session_.underlay().num_hosts();
+  sim::Time prev = 0.0;
+  for (const WorkloadEvent& ev : events) {
+    VDM_REQUIRE_MSG(ev.at >= prev, "trace events must be sorted by time");
+    prev = ev.at;
+    VDM_REQUIRE_MSG(ev.host < num_hosts && ev.host != session_.source(),
+                    "trace references host " + std::to_string(ev.host) +
+                        " outside the " + std::to_string(num_hosts) +
+                        "-host underlay (or the source)");
+    switch (ev.kind) {
+      case WorkloadEvent::Kind::kJoin: {
+        VDM_REQUIRE(ev.degree >= 1);
+        const net::HostId h = ev.host;
+        const int degree = ev.degree;
+        sim.schedule_at(ev.at, [this, h, degree] { do_join_traced(h, degree); });
+        break;
+      }
+      case WorkloadEvent::Kind::kLeave: {
+        const net::HostId h = ev.host;
+        sim.schedule_at(ev.at, [this, h] { do_leave(h); });
+        break;
+      }
+      case WorkloadEvent::Kind::kCrash: {
+        const net::HostId h = ev.host;
+        sim.schedule_at(ev.at, [this, h] { do_crash(h); });
+        break;
+      }
+    }
   }
 }
 
@@ -203,6 +298,19 @@ void ScenarioDriver::run(const MeasureFn& on_measure) {
     schedule_churn_slots(on_measure);
   }
   schedule_flash_crowd();
+  session_.simulator().run_until(params_.total_time);
+  session_.stop();
+}
+
+void ScenarioDriver::run_trace(std::span<const WorkloadEvent> events,
+                               const MeasureFn& on_measure) {
+  VDM_REQUIRE(on_measure != nullptr);
+  session_.start();
+  // Measurements first, then the events: at an equal timestamp the settled
+  // measurement fires before the next batch of membership changes, matching
+  // the slot timeline's insertion order.
+  schedule_measurement_grid(on_measure);
+  schedule_trace_events(events);
   session_.simulator().run_until(params_.total_time);
   session_.stop();
 }

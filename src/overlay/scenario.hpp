@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "overlay/session.hpp"
@@ -8,6 +10,22 @@
 #include "util/rng.hpp"
 
 namespace vdm::overlay {
+
+/// One explicit membership event of a pre-generated workload. The workload
+/// generators (overlay/workload.hpp) produce these, trace files round-trip
+/// them, and ScenarioDriver::run_trace executes them verbatim — the trace
+/// path draws no randomness, so replaying a saved event list reproduces the
+/// generating run bit for bit (given the same seed for the session rng).
+struct WorkloadEvent {
+  enum class Kind : std::uint8_t { kJoin, kLeave, kCrash };
+  sim::Time at = 0.0;
+  Kind kind = Kind::kJoin;
+  net::HostId host = net::kInvalidHost;
+  /// Degree limit assigned at join time (ignored for departures).
+  int degree = 4;
+
+  friend bool operator==(const WorkloadEvent&, const WorkloadEvent&) = default;
+};
 
 /// How child-capacity (degree) limits are assigned to joining members.
 struct DegreeSpec {
@@ -61,17 +79,22 @@ struct ScenarioParams {
 };
 
 /// Reusable buffers of a ScenarioDriver (host pool, membership list,
-/// pending-leave flags). Shuttled through RunScratch so back-to-back runs
-/// over a 100k-host pool rebuild the pool in place instead of reallocating.
+/// pending-leave flags) plus the workload event list of trace-driven runs.
+/// Shuttled through RunScratch so back-to-back runs over a 100k-host pool
+/// rebuild the pool in place instead of reallocating.
 struct ScenarioScratch {
   std::vector<net::HostId> available;
   std::vector<net::HostId> in_overlay;
   std::vector<char> pending_leave;
+  /// Workload-mode event list (generated or parsed from a trace file); the
+  /// driver reads it, run_once owns its lifetime. Same seed and config
+  /// regenerate the same count, so steady-state capacity is stable.
+  std::vector<WorkloadEvent> events;
 
   std::size_t capacity_bytes() const {
     return (available.capacity() + in_overlay.capacity()) *
                sizeof(net::HostId) +
-           pending_leave.capacity();
+           pending_leave.capacity() + events.capacity() * sizeof(WorkloadEvent);
   }
 };
 
@@ -99,6 +122,15 @@ class ScenarioDriver {
   /// measurement point (never during churn or settling).
   void run(const MeasureFn& on_measure);
 
+  /// Trace mode: executes an explicit, time-ordered event list instead of
+  /// the slot machinery. Every join/leave/crash (host, degree, instant)
+  /// comes from `events` — the driver draws no randomness — and
+  /// measurements run on the same settled grid as the slot timeline
+  /// (join_phase + settle_time, then every churn_interval up to
+  /// total_time). `events` must outlive the call and reference valid hosts;
+  /// a leave/crash of a host that is not a member fails with a clear error.
+  void run_trace(std::span<const WorkloadEvent> events, const MeasureFn& on_measure);
+
   /// Hosts currently alive in the overlay (excluding the source).
   std::size_t members_alive() const { return in_overlay_.size(); }
 
@@ -107,7 +139,10 @@ class ScenarioDriver {
   void schedule_flash_crowd();
   void schedule_churn_slots(const MeasureFn& on_measure);
   void schedule_batched_joins(const MeasureFn& on_measure);
+  void schedule_measurement_grid(const MeasureFn& on_measure);
+  void schedule_trace_events(std::span<const WorkloadEvent> events);
   void do_join(net::HostId h);
+  void do_join_traced(net::HostId h, int degree);
   void do_leave(net::HostId h);
   void do_crash(net::HostId h);
   net::HostId draw_available();
@@ -121,6 +156,7 @@ class ScenarioDriver {
   std::vector<net::HostId> available_;   // not in overlay, not pending join
   std::vector<net::HostId> in_overlay_;  // alive members (excl. source)
   std::vector<char> pending_leave_;      // indexed by host
+  std::size_t pending_count_ = 0;        // victims drawn in the current slot
 };
 
 }  // namespace vdm::overlay

@@ -136,6 +136,9 @@ Scenario parse_scenario(std::istream& is) {
     ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
+    // Accept comma-separated fields too, so the workload-trace CSV format
+    // ("t,join,host,degree") loads through this layer unchanged.
+    std::replace(line.begin(), line.end(), ',', ' ');
     std::istringstream ls(line);
     double at = 0.0;
     std::string action;

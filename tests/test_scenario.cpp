@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/vdm_protocol.hpp"
 #include "helpers.hpp"
 #include "util/require.hpp"
@@ -190,6 +193,152 @@ TEST(ScenarioDriver, ZeroChurnKeepsInitialMembers) {
   driver.run([](sim::Time) {});
   EXPECT_EQ(f.session.totals().reconnects_completed, 0u);
   EXPECT_EQ(f.session.totals().joins_completed, 10u);
+}
+
+TEST(ScenarioDriver, FullChurnHoldsSteadyMembership) {
+  // churn_rate 1.0 replaces the entire membership every slot. Before the
+  // joiner draw was made conditional on a successful victim draw, any
+  // skipped departure still admitted its replacement and membership crept
+  // upward; this pins the steady-state count at the maximum churn rate.
+  DriverFixture f(25);
+  ScenarioParams p = small_scenario();
+  p.churn_rate = 1.0;
+  ScenarioDriver driver(f.session, p, util::Rng(21));
+  std::vector<std::size_t> sizes;
+  driver.run([&](sim::Time) { sizes.push_back(driver.members_alive()); });
+  ASSERT_EQ(sizes.size(), 4u);
+  for (const std::size_t s : sizes) EXPECT_EQ(s, 10u);
+  // Three full-replacement slots really happened (10 leaves + 10 joins each).
+  EXPECT_EQ(f.session.totals().joins_completed, 10u + 30u);
+}
+
+TEST(ScenarioDriver, AdversarialIntervalStaysOnExactGrid) {
+  // 0.1 is inexact in binary; accumulating `slot += interval` 10k times
+  // drifts off the grid and eventually gains or loses a slot against the
+  // closed form. The driver must place slot i at exactly
+  // first_slot + i * interval.
+  DriverFixture f(10);
+  ScenarioParams p;
+  p.target_members = 5;
+  p.join_phase = 1.0;
+  p.total_time = 1000.0;
+  p.churn_interval = 0.1;
+  p.settle_time = 0.02;
+  p.churn_rate = 0.0;
+  ScenarioDriver driver(f.session, p, util::Rng(22));
+  std::vector<sim::Time> at;
+  driver.run([&](sim::Time t) { at.push_back(t); });
+
+  const sim::Time first = p.join_phase + p.settle_time;
+  std::size_t expected = 1;  // measurement closing the join phase
+  for (std::size_t i = 0;; ++i) {
+    const sim::Time slot = first + static_cast<double>(i) * p.churn_interval;
+    if (!(slot + p.churn_interval <= p.total_time)) break;
+    ++expected;
+  }
+  ASSERT_EQ(at.size(), expected);
+  EXPECT_GT(at.size(), 9000u);
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    // Exact (bitwise) equality with the closed-form grid, not EXPECT_NEAR:
+    // drift is precisely the regression this guards against.
+    ASSERT_EQ(at[i], first + static_cast<double>(i) * p.churn_interval)
+        << "measurement " << i << " off the closed-form slot grid";
+  }
+}
+
+TEST(ScenarioDriver, PoolExhaustionReportsClearError) {
+  // 11 usable hosts, 5 steady members + a 6-host flash crowd: the first
+  // churn slot's joiner finds the pool empty. The failure must name the
+  // budget that overflowed, not just trip an anonymous invariant.
+  DriverFixture f(12);
+  ScenarioParams p = small_scenario();
+  p.target_members = 5;
+  p.flash_count = 6;
+  p.flash_at = 50.0;
+  try {
+    ScenarioDriver driver(f.session, p, util::Rng(23));
+    driver.run([](sim::Time) {});
+    FAIL() << "expected host-pool exhaustion";
+  } catch (const util::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("host pool exhausted"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ----------------------------------------------------------- trace mode
+
+TEST(ScenarioDriver, TraceModeReplaysExplicitEvents) {
+  DriverFixture f(20);
+  ScenarioParams p = small_scenario();
+  ScenarioDriver driver(f.session, p, util::Rng(24));
+  using K = WorkloadEvent::Kind;
+  const std::vector<WorkloadEvent> events{
+      {10.0, K::kJoin, 1, 3},  {20.0, K::kJoin, 2, 4}, {30.0, K::kJoin, 3, 4},
+      {40.0, K::kJoin, 4, 2},  {200.0, K::kLeave, 2, 4},
+      {250.0, K::kCrash, 3, 4},
+      // Host 2 rejoins after leaving: legal within one trace.
+      {300.0, K::kJoin, 2, 4},
+  };
+  std::vector<sim::Time> at;
+  std::vector<std::size_t> sizes;
+  driver.run_trace(events, [&](sim::Time t) {
+    at.push_back(t);
+    sizes.push_back(driver.members_alive());
+  });
+  // Same settled measurement grid as the slot timeline.
+  ASSERT_EQ(at.size(), 4u);
+  EXPECT_DOUBLE_EQ(at[0], p.join_phase + p.settle_time);
+  EXPECT_EQ(sizes[0], 4u);           // after the four joins
+  EXPECT_EQ(sizes.back(), 3u);       // leave + crash + rejoin
+  EXPECT_EQ(f.session.totals().joins_completed, 5u);
+  f.session.tree().validate();
+}
+
+TEST(ScenarioDriver, TraceModeIsDeterministic) {
+  // The trace path draws no randomness: two replays with different driver
+  // rng seeds produce identical trees.
+  auto run_one = [](std::uint64_t driver_seed) {
+    DriverFixture f(20, 5);
+    ScenarioDriver driver(f.session, small_scenario(), util::Rng(driver_seed));
+    using K = WorkloadEvent::Kind;
+    const std::vector<WorkloadEvent> events{
+        {10.0, K::kJoin, 1, 3},   {20.0, K::kJoin, 2, 4},
+        {30.0, K::kJoin, 3, 5},   {150.0, K::kLeave, 1, 4},
+        {220.0, K::kJoin, 6, 2},
+    };
+    driver.run_trace(events, [](sim::Time) {});
+    std::vector<net::HostId> parents;
+    for (net::HostId h = 0; h < 20; ++h) {
+      parents.push_back(f.session.tree().member(h).alive
+                            ? f.session.tree().member(h).parent
+                            : net::kInvalidHost);
+    }
+    return parents;
+  };
+  EXPECT_EQ(run_one(100), run_one(200));
+}
+
+TEST(ScenarioDriver, TraceModeRejectsBadTraces) {
+  using K = WorkloadEvent::Kind;
+  const auto expect_throw_with = [](const std::vector<WorkloadEvent>& events,
+                                    const std::string& needle) {
+    DriverFixture f(20);
+    ScenarioDriver driver(f.session, small_scenario(), util::Rng(25));
+    try {
+      driver.run_trace(events, [](sim::Time) {});
+      FAIL() << "expected InvariantError mentioning: " << needle;
+    } catch (const util::InvariantError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw_with({{20.0, K::kJoin, 1, 4}, {10.0, K::kJoin, 2, 4}},
+                    "sorted");
+  expect_throw_with({{10.0, K::kJoin, 1, 4}, {20.0, K::kJoin, 1, 4}},
+                    "already a member");
+  expect_throw_with({{10.0, K::kLeave, 1, 4}}, "not a member");
+  expect_throw_with({{10.0, K::kCrash, 1, 4}}, "not a member");
 }
 
 }  // namespace

@@ -143,6 +143,26 @@ TEST(Percentile, RejectsEmptyAndBadP) {
   EXPECT_THROW(percentile({1.0}, 1.5), InvariantError);
 }
 
+TEST(Percentile, InplaceSingleSample) {
+  // idx = p * (n-1) = 0 for every p, so lo == hi == 0: no interpolation
+  // partner to read out of bounds.
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile_inplace(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(one, 1.0), 7.0);
+}
+
+TEST(Percentile, InplaceTwoSamplesAndEndpoints) {
+  std::vector<double> two{4.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_inplace(two, 0.0), 2.0);
+  // p = 1.0 lands exactly on the last element (frac 0, hi clamped).
+  EXPECT_DOUBLE_EQ(percentile_inplace(two, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(two, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(two, 0.75), 3.5);
+  // The in-place variant leaves the vector sorted.
+  EXPECT_EQ(two, (std::vector<double>{2.0, 4.0}));
+}
+
 TEST(Summary, ToStringMentionsCount) {
   const Summary s = summarize({1.0, 2.0, 3.0});
   EXPECT_NE(s.to_string().find("n=3"), std::string::npos);

@@ -47,6 +47,18 @@ int usage() {
       "  --flash      N burst arrivals at one instant on top of --members\n"
       "               (default 0; --flash-at sets the instant, default =\n"
       "               end of the join phase)\n"
+      "  --workload   slots | poisson | diurnal | pareto | trace:<file>\n"
+      "               membership process (default slots = the paper's churn\n"
+      "               timeline; the rest generate/replay an explicit event\n"
+      "               trace — see README for the CSV trace format)\n"
+      "  --mean-session   mean member session length, s     (default 2000)\n"
+      "  --pareto-alpha   Pareto session shape, > 1         (default 1.5)\n"
+      "  --diurnal-period / --diurnal-amplitude  arrival-rate wave\n"
+      "               (defaults 4000 s / 0.8)\n"
+      "  --save-trace <file>  write the run's workload event trace as CSV\n"
+      "               (replay it bit-identically with --workload trace:<file>)\n"
+      "  --trajectory print the first seed's per-measurement time series\n"
+      "               (t, continuity, outage, overhead, members)\n"
       "  --link-loss  per-link error ceiling                (default 0)\n"
       "  --probe-noise RTT measurement noise std-dev        (default 0)\n"
       "  --hmtp-period / --no-hmtp-refine / --foster-child  HMTP controls\n"
@@ -198,6 +210,33 @@ int main(int argc, char** argv) {
   cfg.session.faults.retry_timeout = flags.get_double("retry-timeout", 0.25);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
+  const std::string workload = flags.get("workload", "slots");
+  if (!overlay::parse_workload_kind(workload, cfg.workload)) {
+    std::cerr << "unknown --workload '" << workload << "' (see --help)\n";
+    return 2;
+  }
+  cfg.workload.mean_session = flags.get_double("mean-session", 2000.0);
+  cfg.workload.pareto_alpha = flags.get_double("pareto-alpha", 1.5);
+  cfg.workload.diurnal_period = flags.get_double("diurnal-period", 4000.0);
+  cfg.workload.diurnal_amplitude = flags.get_double("diurnal-amplitude", 0.8);
+  const std::string save_trace = flags.get("save-trace", "");
+  if (!save_trace.empty()) {
+    if (cfg.workload.kind == overlay::WorkloadKind::kSlots) {
+      std::cerr << "--save-trace needs an event-list workload "
+                   "(--workload poisson|diurnal|pareto|trace:<file>)\n";
+      return 2;
+    }
+    std::vector<overlay::WorkloadEvent> events;
+    workload_events(cfg, events);
+    overlay::write_trace_file(save_trace, events);
+    if (!flags.get_bool("quiet", false)) {
+      std::cerr << "wrote " << events.size() << " events (seed " << cfg.seed
+                << ") to " << save_trace << '\n';
+    }
+  }
+  const bool want_trajectory = flags.get_bool("trajectory", false);
+  cfg.keep_trajectory = want_trajectory;
+
   // The MST-ratio baseline is an O(N^2) Prim pass over the final tree —
   // fine at paper scale, minutes at coordinate-substrate scale. Auto-off
   // above 4096 members; --mst / --no-mst override in either direction.
@@ -265,9 +304,25 @@ int main(int argc, char** argv) {
     t.print_csv(std::cout);
   } else {
     std::cout << proto << " on " << substrate << ", "
-              << cfg.scenario.target_members << " members, churn "
+              << cfg.scenario.target_members << " members, workload "
+              << overlay::workload_kind_name(cfg.workload.kind) << ", churn "
               << 100 * cfg.scenario.churn_rate << "%, " << seeds << " seeds\n\n";
     t.print(std::cout);
+  }
+
+  if (want_trajectory && !agg.runs.empty()) {
+    util::Table traj({"t", "continuity", "outage_s", "overhead", "members"});
+    for (const TrajectoryPoint& p : agg.runs.front().trajectory) {
+      traj.add_row({util::Table::fmt(p.at, 1), util::Table::fmt(p.continuity, 5),
+                    util::Table::fmt(p.outage, 3), util::Table::fmt(p.overhead, 5),
+                    std::to_string(p.members)});
+    }
+    if (flags.get_bool("csv", false)) {
+      traj.print_csv(std::cout);
+    } else {
+      std::cout << "\ntrajectory (seed " << cfg.seed << ")\n\n";
+      traj.print(std::cout);
+    }
   }
   return 0;
 }
