@@ -10,10 +10,12 @@ topo::HostMetric rtt_metric(const net::Underlay& underlay) {
 
 double overlay_tree_cost(const overlay::Membership& tree, net::HostId source,
                          const net::Underlay& underlay) {
+  // Scans the member table directly instead of materializing alive_members():
+  // this runs once per run_once on the arena's allocation-free path.
   double cost = 0.0;
-  for (const net::HostId h : tree.alive_members()) {
+  for (net::HostId h = 0; h < tree.num_hosts(); ++h) {
     const overlay::MemberState& m = tree.member(h);
-    if (h == source || m.parent == net::kInvalidHost) continue;
+    if (!m.alive || h == source || m.parent == net::kInvalidHost) continue;
     cost += underlay.rtt(h, m.parent);
   }
   return cost;
@@ -29,6 +31,18 @@ double mst_cost(const overlay::Membership& tree, net::HostId source,
 double mst_ratio(const overlay::Membership& tree, net::HostId source,
                  const net::Underlay& underlay) {
   const double mst = mst_cost(tree, source, underlay);
+  if (mst <= 0.0) return 1.0;
+  return overlay_tree_cost(tree, source, underlay) / mst;
+}
+
+double mst_ratio(const overlay::Membership& tree, net::HostId source,
+                 const net::Underlay& underlay, topo::MstScratch& scratch) {
+  scratch.members.clear();
+  for (net::HostId h = 0; h < tree.num_hosts(); ++h) {
+    if (tree.member(h).alive) scratch.members.push_back(h);
+  }
+  VDM_REQUIRE(!scratch.members.empty());
+  const double mst = topo::prim_mst_cost(source, rtt_metric(underlay), scratch);
   if (mst <= 0.0) return 1.0;
   return overlay_tree_cost(tree, source, underlay) / mst;
 }

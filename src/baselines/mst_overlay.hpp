@@ -29,4 +29,11 @@ double mst_cost(const overlay::Membership& tree, net::HostId source,
 double mst_ratio(const overlay::Membership& tree, net::HostId source,
                  const net::Underlay& underlay);
 
+/// Same ratio computed through a caller-owned scratch (member gather plus
+/// Prim label arrays): allocation-free once the scratch is warm. Bitwise
+/// identical to the plain overload — the member scan visits hosts in the
+/// same ascending order alive_members() produces.
+double mst_ratio(const overlay::Membership& tree, net::HostId source,
+                 const net::Underlay& underlay, topo::MstScratch& scratch);
+
 }  // namespace vdm::baselines

@@ -56,15 +56,27 @@ std::vector<AggregateResult> run_grid(std::span<const RunConfig> points,
   if (points.empty()) return {};
   const std::size_t total = points.size() * num_seeds;
 
+  // A walk observer (vdmsim --trace-joins) is an external sink written from
+  // inside every run; concurrent runs would interleave its records. Clamp
+  // the sweep to one worker whenever any point installs one, regardless of
+  // what `options.threads` asks for.
+  std::size_t thread_cap = options.threads;
+  for (const RunConfig& p : points) {
+    if (p.walk_observer != nullptr) {
+      thread_cap = 1;
+      break;
+    }
+  }
+
   util::TaskPool& pool = util::TaskPool::global();
-  const std::size_t workers = pool.workers_for(total, options.threads);
+  const std::size_t workers = pool.workers_for(total, thread_cap);
   std::vector<RunScratch> arenas(workers);
   std::vector<RunResult> runs(total);
 
   std::mutex progress_mu;
   std::size_t done = 0;
 
-  pool.for_n(total, options.threads, [&](const util::TaskPool::Context& ctx) {
+  pool.for_n(total, thread_cap, [&](const util::TaskPool::Context& ctx) {
     const std::size_t point = ctx.index / num_seeds;
     const std::size_t seed = ctx.index % num_seeds;
     RunConfig cfg = points[point];

@@ -19,7 +19,9 @@ std::size_t CollectorScratch::capacity_bytes() const {
            tree.link_epoch.capacity() * sizeof(std::uint64_t) +
            tree.links_touched.capacity() * sizeof(net::LinkId) +
            tree.overlay_delay.capacity() * sizeof(double) +
-           tree.order.capacity() * sizeof(net::HostId);
+           tree.order.capacity() * sizeof(net::HostId) +
+           (tree.edge_delay.capacity() + tree.direct_delay.capacity()) *
+               sizeof(double);
   return bytes;
 }
 
@@ -34,7 +36,7 @@ void Collector::capture(sim::Time at) {
   // every scalar is assigned, every vector rebuilt in place.
   e.at = at;
   e.members = s.tree().alive_count();
-  e.tree = measure_tree(s.tree(), s.source(), s.underlay(), sc.tree);
+  e.tree = measure_tree(s.tree(), s.source(), s.underlay(), sc.tree, threads_);
 
   const overlay::Session::Counters& w = s.window();
   e.control_messages = w.control_messages;

@@ -75,6 +75,11 @@ class Collector {
     scratch.used = 0;
   }
 
+  /// Worker threads for the tree-measurement pass (same semantics as
+  /// SessionParams::threads: 1 = serial default, 0 = hardware concurrency).
+  /// Bit-identical results for every value.
+  void set_threads(int threads) { threads_ = threads; }
+
   /// Snapshot now, then reset the session's window counters. Call from the
   /// ScenarioDriver's measurement callback.
   void capture(sim::Time at);
@@ -134,6 +139,7 @@ class Collector {
   /// capture loop allocation-free in steady state.
   CollectorScratch* scratch_;
   CollectorScratch owned_;
+  int threads_ = 1;
 };
 
 }  // namespace vdm::metrics

@@ -4,12 +4,13 @@
 
 #include "util/require.hpp"
 #include "util/stats.hpp"
+#include "util/task_pool.hpp"
 
 namespace vdm::metrics {
 
 TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
                          const net::Underlay& underlay,
-                         TreeMetricsScratch& scratch) {
+                         TreeMetricsScratch& scratch, int threads) {
   TreeMetrics out;
   const std::size_t num_hosts = tree.num_hosts();
   for (net::HostId h = 0; h < num_hosts; ++h) {
@@ -43,24 +44,52 @@ TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
     ++traversals;
   };
 
-  // BFS down the tree from the source; overlay delay accumulates top-down.
-  scratch.overlay_delay[source] = 0.0;
+  // BFS down the tree collects the visit order (children-list walks only,
+  // no underlay reads yet). order[i]'s tree parent is member(order[i]).parent.
   scratch.order.push_back(source);
   for (std::size_t i = 0; i < scratch.order.size(); ++i) {
-    const net::HostId p = scratch.order[i];
-    for (const net::HostId c : tree.member(p).children) {
-      const double edge_delay = underlay.delay(p, c);
-      scratch.overlay_delay[c] = scratch.overlay_delay[p] + edge_delay;
-      out.network_usage += edge_delay;
-      underlay.for_each_path_link(p, c, count_link);
+    for (const net::HostId c : tree.member(scratch.order[i]).children) {
       scratch.order.push_back(c);
     }
   }
 
+  // Pure pass: the two underlay reads per member (uplink edge delay, direct
+  // source->host delay). On a coordinate substrate this arithmetic is the
+  // bulk of a capture, so it fans out over the TaskPool when the underlay
+  // allows concurrent reads; the values land in per-index slots and every
+  // accumulation below runs serially in BFS order — bit-identical to the
+  // serial pass for any thread count.
+  const std::size_t n_order = scratch.order.size();
+  scratch.edge_delay.resize(n_order);
+  scratch.direct_delay.resize(n_order);
+  const auto read_delays = [&](std::size_t i) {
+    const net::HostId h = scratch.order[i];
+    scratch.edge_delay[i] = underlay.delay(tree.member(h).parent, h);
+    scratch.direct_delay[i] = underlay.delay(source, h);
+  };
+  if (threads != 1 && underlay.concurrent_reads() && n_order > 1) {
+    util::TaskPool::global().for_n(
+        n_order - 1, static_cast<std::size_t>(threads),
+        [&](const util::TaskPool::Context& ctx) { read_delays(ctx.index + 1); });
+  } else {
+    for (std::size_t i = 1; i < n_order; ++i) read_delays(i);
+  }
+
+  // Serial accumulation in BFS order: overlay delays top-down, network
+  // usage, per-link stress counts.
+  scratch.overlay_delay[source] = 0.0;
+  for (std::size_t i = 1; i < n_order; ++i) {
+    const net::HostId c = scratch.order[i];
+    const net::HostId p = tree.member(c).parent;
+    scratch.overlay_delay[c] = scratch.overlay_delay[p] + scratch.edge_delay[i];
+    out.network_usage += scratch.edge_delay[i];
+    underlay.for_each_path_link(p, c, count_link);
+  }
+
   util::OnlineStats stretch_all, stretch_leaf, hops_all, hops_leaf;
-  for (const net::HostId h : scratch.order) {
-    if (h == source) continue;
-    const double direct = underlay.delay(source, h);
+  for (std::size_t i = 1; i < n_order; ++i) {
+    const net::HostId h = scratch.order[i];
+    const double direct = scratch.direct_delay[i];
     const double stretch = direct > 0.0 ? scratch.overlay_delay[h] / direct : 1.0;
     const auto hops = static_cast<double>(tree.depth(h));
     stretch_all.add(stretch);

@@ -53,14 +53,24 @@ struct TreeMetricsScratch {
   std::vector<net::LinkId> links_touched;  // distinct links hit this epoch
   std::vector<double> overlay_delay;       // source->host delay per HostId
   std::vector<net::HostId> order;          // BFS visit order
+  /// Per-order-index underlay reads (uplink edge delay, direct
+  /// source->host delay) — the pure pass the parallel capture fans out.
+  std::vector<double> edge_delay;
+  std::vector<double> direct_delay;
   std::uint64_t epoch = 0;
 };
 
 /// Measures the current tree. Members that are mid-reconnection (detached)
 /// are excluded from path metrics, as the paper measures settled trees.
+///
+/// `threads` != 1 fans the per-member underlay reads (uplink and direct
+/// delays — the dominant cost on a coordinate substrate) over the shared
+/// TaskPool when the underlay supports concurrent reads; every accumulation
+/// stays serial in BFS order, so the result is bit-identical for any thread
+/// count (0 = hardware concurrency).
 TreeMetrics measure_tree(const overlay::Membership& tree, net::HostId source,
                          const net::Underlay& underlay,
-                         TreeMetricsScratch& scratch);
+                         TreeMetricsScratch& scratch, int threads = 1);
 
 /// Convenience overload with a throwaway scratch (allocates; fine for tests
 /// and one-off measurements, not for capture loops).

@@ -61,6 +61,9 @@ class CoordUnderlay final : public Underlay {
                           util::FunctionRef<void(LinkId)> visit) const override;
   double link_delay(LinkId link) const override;
   std::size_t num_links() const override { return 0; }
+  /// Pure arithmetic over immutable coordinate arrays: no caches, no state.
+  bool concurrent_reads() const override { return true; }
+  bool zero_loss() const override { return params_.loss == 0.0; }
 
   const Params& params() const { return params_; }
 

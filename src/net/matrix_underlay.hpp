@@ -33,6 +33,9 @@ class MatrixUnderlay final : public Underlay {
                           util::FunctionRef<void(LinkId)> visit) const override;
   double link_delay(LinkId link) const override;
   std::size_t num_links() const override { return n_ * (n_ - 1) / 2; }
+  /// Plain reads of immutable matrices: safe from any number of threads.
+  bool concurrent_reads() const override { return true; }
+  bool zero_loss() const override { return loss_.empty(); }
 
   /// Pseudo-link id of the unordered pair {a, b}, a != b.
   LinkId pair_link(HostId a, HostId b) const;

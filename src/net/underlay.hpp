@@ -58,6 +58,19 @@ class Underlay {
 
   /// Total number of physical (or pseudo-) links.
   virtual std::size_t num_links() const = 0;
+
+  /// True when delay()/loss()/path visits may run concurrently from several
+  /// threads. Matrix and coordinate substrates are pure reads over immutable
+  /// arrays; the graph substrate fills mutable per-pair and per-tree caches
+  /// on read, so it must stay single-threaded (and returns the default).
+  /// Intra-session parallel phases only engage when this is true.
+  virtual bool concurrent_reads() const { return false; }
+
+  /// True when loss() is identically zero for every host pair. A loss-free
+  /// data plane draws no randomness per chunk edge (Rng::chance(0) draws
+  /// nothing), which is what lets the chunk flood shard across threads
+  /// without perturbing the rng stream.
+  virtual bool zero_loss() const { return false; }
 };
 
 }  // namespace vdm::net

@@ -7,16 +7,29 @@
 
 namespace vdm::overlay {
 
+// measure() routes through probe_base() + finish_probe() for every provider
+// that opts into concurrent probing, so the parallel split (pure phase
+// concurrent, rng completion serial) is bit-identical to the one-call form
+// by construction rather than by parallel maintenance of two code paths.
+
 double DelayMetric::measure(const net::Underlay& net, net::HostId a,
                             net::HostId b, util::Rng& rng) const {
-  double v = net.rtt(a, b);
+  return finish_probe(probe_base(net, a, b), rng);
+}
+
+double DelayMetric::finish_probe(const ProbeBase& base, util::Rng& rng) const {
+  double v = base.first;
   if (noise_frac_ > 0.0) v *= std::max(0.1, rng.normal(1.0, noise_frac_));
   return v;
 }
 
 double LossMetric::measure(const net::Underlay& net, net::HostId a,
                            net::HostId b, util::Rng& rng) const {
-  const double p = net.loss(a, b);
+  return finish_probe(probe_base(net, a, b), rng);
+}
+
+double LossMetric::finish_probe(const ProbeBase& base, util::Rng& rng) const {
+  const double p = base.first;
   int lost = 0;
   for (int i = 0; i < probes_; ++i) {
     if (rng.chance(p)) ++lost;
@@ -24,7 +37,7 @@ double LossMetric::measure(const net::Underlay& net, net::HostId a,
   // Estimated loss rate, clamped away from 1 so the log stays finite; one
   // lost probe out of `probes_` is the measurement floor.
   const double est = std::min(static_cast<double>(lost) / probes_, 0.99);
-  return -std::log(1.0 - est) + delay_tiebreak_ * net.rtt(a, b);
+  return -std::log(1.0 - est) + delay_tiebreak_ * base.second;
 }
 
 sim::Time LossMetric::measurement_time(const net::Underlay& net, net::HostId a,
@@ -78,10 +91,16 @@ BlendMetric::BlendMetric(double weight_delay, double weight_loss, int probes,
 
 double BlendMetric::measure(const net::Underlay& net, net::HostId a,
                             net::HostId b, util::Rng& rng) const {
+  return finish_probe(probe_base(net, a, b), rng);
+}
+
+double BlendMetric::finish_probe(const ProbeBase& base, util::Rng& rng) const {
   // Normalize delay to "per 100 ms" and loss-length to "per 1 %" so the
-  // weights are unitless knobs of comparable magnitude.
-  const double d = delay_.measure(net, a, b, rng) / 0.100;
-  const double l = loss_.measure(net, a, b, rng) / 0.010;
+  // weights are unitless knobs of comparable magnitude. Both components
+  // share one base: the delay part reads the rtt, the loss part the loss
+  // probability (and the rtt for its — here zero-weighted — tiebreaker).
+  const double d = delay_.finish_probe({base.second, 0.0}, rng) / 0.100;
+  const double l = loss_.finish_probe(base, rng) / 0.010;
   return w_delay_ * d + w_loss_ * l;
 }
 

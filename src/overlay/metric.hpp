@@ -55,6 +55,37 @@ class MetricProvider {
     cost.elapsed = measurement_time(net, a, b);
     return measure(net, a, b, rng);
   }
+
+  // ------------------------------------------------------- parallel probing
+  // A probe batch splits into a pure phase (underlay reads, safe to compute
+  // concurrently) and a serial completion (the rng draws, applied in caller
+  // order). Providers that opt in implement measure() as
+  // finish_probe(probe_base(...), rng), so the split is bit-identical to the
+  // one-call form by construction.
+
+  /// Pure (rng-free) inputs of one measurement a -> b. Field meaning is
+  /// provider-private; only finish_probe interprets it.
+  struct ProbeBase {
+    double first = 0.0;
+    double second = 0.0;
+  };
+
+  /// True when probe_base() may run concurrently from several threads and
+  /// finish_probe(probe_base(net, a, b), rng) reproduces measure(net, a, b,
+  /// rng) bit for bit. CachedMetric mutates its cache per call: false.
+  virtual bool concurrent_probe_safe() const { return false; }
+
+  /// The pure phase. Only meaningful when concurrent_probe_safe().
+  virtual ProbeBase probe_base(const net::Underlay&, net::HostId,
+                               net::HostId) const {
+    return {};
+  }
+
+  /// The serial completion: applies measurement noise, drawing exactly what
+  /// measure() would draw.
+  virtual double finish_probe(const ProbeBase& base, util::Rng&) const {
+    return base.first;
+  }
 };
 
 /// RTT-based virtual distance (VDM-D, the paper's default): one ping
@@ -73,6 +104,12 @@ class DelayMetric final : public MetricProvider {
                              net::HostId b) const override {
     return net.rtt(a, b);
   }
+  bool concurrent_probe_safe() const override { return true; }
+  ProbeBase probe_base(const net::Underlay& net, net::HostId a,
+                       net::HostId b) const override {
+    return {net.rtt(a, b), 0.0};
+  }
+  double finish_probe(const ProbeBase& base, util::Rng& rng) const override;
 
  private:
   double noise_frac_;
@@ -96,6 +133,13 @@ class LossMetric final : public MetricProvider {
   int messages_per_measurement() const override { return 2 * probes_; }
   sim::Time measurement_time(const net::Underlay& net, net::HostId a,
                              net::HostId b) const override;
+  bool concurrent_probe_safe() const override { return true; }
+  /// first = end-to-end loss probability, second = rtt (the tiebreaker).
+  ProbeBase probe_base(const net::Underlay& net, net::HostId a,
+                       net::HostId b) const override {
+    return {net.loss(a, b), net.rtt(a, b)};
+  }
+  double finish_probe(const ProbeBase& base, util::Rng& rng) const override;
 
  private:
   int probes_;
@@ -164,6 +208,13 @@ class BlendMetric final : public MetricProvider {
   int messages_per_measurement() const override;
   sim::Time measurement_time(const net::Underlay& net, net::HostId a,
                              net::HostId b) const override;
+  bool concurrent_probe_safe() const override { return true; }
+  /// first = loss probability, second = rtt (shared by both components).
+  ProbeBase probe_base(const net::Underlay& net, net::HostId a,
+                       net::HostId b) const override {
+    return {net.loss(a, b), net.rtt(a, b)};
+  }
+  double finish_probe(const ProbeBase& base, util::Rng& rng) const override;
 
  private:
   double w_delay_;

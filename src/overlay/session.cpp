@@ -1,13 +1,44 @@
 #include "overlay/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "overlay/placement.hpp"
 #include "overlay/walk.hpp"
 #include "util/require.hpp"
+#include "util/task_pool.hpp"
 
 namespace vdm::overlay {
+
+namespace {
+
+/// Scoped wall-clock accumulator for SessionParams::profile. Disabled it is
+/// one branch and no clock reads, so the default (profile off) hot paths
+/// are untouched. Phase entry points never nest (joins, drains, refines and
+/// floods are distinct simulator events), so each second lands in exactly
+/// one bucket.
+class PhaseTimer {
+ public:
+  PhaseTimer(bool enabled, double& sink) : sink_(enabled ? &sink : nullptr) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (sink_ != nullptr) {
+      *sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start_)
+                    .count();
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 OpStats Protocol::execute_refine(Session&, net::HostId) { return {}; }
 
@@ -15,30 +46,40 @@ Session::Session(sim::Simulator& simulator, const net::Underlay& underlay,
                  Protocol& protocol, const MetricProvider& metric,
                  const SessionParams& params, util::Rng rng)
     : sim_(simulator), underlay_(underlay), protocol_(protocol), metric_(metric),
-      params_(params), rng_(rng), tree_(underlay.num_hosts()),
-      walk_scratch_(std::make_unique<WalkScratch>()) {
+      params_(params), rng_(rng), tree_(0) {
+  // tree_ and walk_scratch_ stay empty until start(): an arena caller swaps
+  // warm storage in between construction and start(), and sizing them here
+  // would put two unavoidable allocations on that otherwise allocation-free
+  // path.
   VDM_REQUIRE(params_.source < underlay.num_hosts());
   VDM_REQUIRE(params_.chunk_rate > 0.0);
 }
 
 void Session::swap_walk_scratch(std::unique_ptr<WalkScratch>& other) {
-  if (!other) other = std::make_unique<WalkScratch>();
+  // Plain swap on purpose: populating a null `other` here would hand the
+  // arena a fresh allocation at swap-out. start() sizes whatever arrives.
   std::swap(walk_scratch_, other);
 }
 
 void Session::swap_tree_storage(std::unique_ptr<Membership>& other) {
-  if (!other) other = std::make_unique<Membership>(2);
+  // The null-populate runs once per arena (first run); after that the swap
+  // just shuttles warm storage. start() does the per-run reset — resetting
+  // here would also grow the empty tree handed back at the end-of-run swap.
+  if (!other) other = std::make_unique<Membership>(0);
   std::swap(tree_, *other);
-  tree_.reset(underlay_.num_hosts());
 }
 
 void Session::swap_placement_index(std::unique_ptr<PlacementIndex>& other) {
-  if (!other) other = std::make_unique<PlacementIndex>();
+  // Plain swap on purpose (same reason as swap_walk_scratch): populating a
+  // null `other` would allocate a throwaway index at every end-of-run swap
+  // of a sequential-mode run. start() creates the index when a join mode
+  // actually needs one.
   std::swap(placement_, other);
 }
 
 const std::vector<int>& Session::join_reservations() const {
-  return walk_scratch_->reserved;
+  static const std::vector<int> kEmpty;
+  return walk_scratch_ ? walk_scratch_->reserved : kEmpty;
 }
 
 Session::~Session() { stop(); }
@@ -46,6 +87,23 @@ Session::~Session() { stop(); }
 void Session::start() {
   VDM_REQUIRE_MSG(!started_, "start() called twice");
   started_ = true;
+  profile_ = PhaseProfile{};
+  if (!walk_scratch_) walk_scratch_ = std::make_unique<WalkScratch>();
+  // Unconditional: a swapped-in warm tree has matching size but stale
+  // members; a fresh or undersized one needs the resize. Same-size resets
+  // only clear, so the arena path stays allocation-free.
+  tree_.reset(underlay_.num_hosts());
+  // A swapped-in refine slab may hold EventIds from a previous run on this
+  // arena; they are meaningless (and dangerous) after the simulator reset.
+  // Likewise a join batch that was still queued when that run ended.
+  std::fill(walk_scratch_->refine_events.begin(),
+            walk_scratch_->refine_events.end(),
+            std::uint64_t{sim::kInvalidEvent});
+  walk_scratch_->pending_joins.clear();
+  // Swapped-in record accumulators may hold entries pushed after the previous
+  // run's final drain; they belong to that run, not this one.
+  scratch_.startup_records.clear();
+  scratch_.reconnect_records.clear();
   tree_.activate(params_.source, params_.source_degree_limit);
   tree_.flood().in_session_since[params_.source] = sim_.now();
   if (params_.join_mode != JoinMode::kSequential) {
@@ -59,16 +117,29 @@ void Session::start() {
     placement_->insert(params_.source);
   }
   if (params_.data_plane) {
-    stream_timer_ = std::make_unique<sim::Periodic>(
-        sim_, 1.0 / params_.chunk_rate, [this] { emit_chunk(); });
+    // Same schedule/reschedule sequence sim::Periodic produces, without the
+    // per-run heap timer object.
+    const sim::Time period = 1.0 / params_.chunk_rate;
+    stream_event_ = sim_.schedule_in(period, [this, period] {
+      emit_chunk();
+      sim_.reschedule_current_in(period);
+    });
   }
 }
 
 void Session::stop() {
-  // A drain event scheduled behind us may still fire; emptied, it no-ops.
-  walk_scratch_->pending_joins.clear();
-  stream_timer_.reset();
-  refine_timers_.clear();
+  if (stream_event_ != sim::kInvalidEvent) {
+    sim_.cancel(stream_event_);
+    stream_event_ = sim::kInvalidEvent;
+  }
+  if (walk_scratch_) {  // null after swap-out on the arena path, or pre-start
+    // A drain event scheduled behind us may still fire; emptied, it no-ops.
+    walk_scratch_->pending_joins.clear();
+    for (std::uint64_t& id : walk_scratch_->refine_events) {
+      if (id != sim::kInvalidEvent) sim_.cancel(id);
+      id = sim::kInvalidEvent;
+    }
+  }
   for (auto& [h, hb] : heartbeats_) {
     if (hb.pending_detect != sim::kInvalidEvent) sim_.cancel(hb.pending_detect);
   }
@@ -122,6 +193,7 @@ net::HostId Session::locate_entry(net::HostId h, OpStats& stats) {
 
 TimingRecord Session::run_join(net::HostId h, net::HostId start, bool is_reconnect,
                                sim::Time detection, OpStats pre) {
+  const PhaseTimer timer(params_.profile, profile_.join_secs);
   OpStats stats = pre;
   stats += protocol_.execute_join(*this, h, start);
   return finish_join(h, stats, is_reconnect, detection);
@@ -147,11 +219,11 @@ TimingRecord Session::finish_join(net::HostId h, const OpStats& stats,
   tree_.flood().receiving_since[h] = sim_.now() + stats.elapsed;
 
   if (is_reconnect) {
-    reconnect_records_.push_back(rec);
+    scratch_.reconnect_records.push_back(rec);
     ++window_.reconnects_completed;
     ++totals_.reconnects_completed;
   } else {
-    startup_records_.push_back(rec);
+    scratch_.startup_records.push_back(rec);
     ++window_.joins_completed;
     ++totals_.joins_completed;
     if (first_join_at_ < 0.0) first_join_at_ = rec.at;
@@ -183,6 +255,7 @@ TimingRecord Session::finish_join(net::HostId h, const OpStats& stats,
 }
 
 void Session::drain_join_batch() {
+  const PhaseTimer timer(params_.profile, profile_.join_secs);
   drain_scheduled_ = false;
   WalkScratch& ws = *walk_scratch_;
   if (ws.pending_joins.empty()) return;  // run stopped mid-batch
@@ -336,12 +409,12 @@ void Session::leave(net::HostId h) {
   disarm_refinement(h);
   disarm_heartbeat(h);
   forget_crash_orphan(h);
-  tree_.deactivate(h, orphan_scratch_);
+  tree_.deactivate(h, scratch_.orphans);
 
   // Each orphan reconnects on its own, starting at its grandparent if that
   // node is still alive, else at the source (§3.3). Orphans act in child
   // order — deterministic, and equivalent to near-simultaneous recovery.
-  for (const net::HostId orphan : orphan_scratch_) {
+  for (const net::HostId orphan : scratch_.orphans) {
     run_join(orphan, reconnect_start(orphan), /*is_reconnect=*/true);
   }
   if (params_.paranoid_checks) tree_.validate();
@@ -358,13 +431,13 @@ void Session::crash(net::HostId h) {
   disarm_refinement(h);
   disarm_heartbeat(h);
   forget_crash_orphan(h);  // h may itself still be an undetected orphan
-  tree_.deactivate(h, orphan_scratch_);
+  tree_.deactivate(h, scratch_.orphans);
 
   if (params_.faults.heartbeat_period <= 0.0) {
     // No failure detector configured: model instant detection, i.e. the
     // orphans reconnect immediately as after a graceful leave (but the
     // crashed node still paid no notification messages).
-    for (const net::HostId orphan : orphan_scratch_) {
+    for (const net::HostId orphan : scratch_.orphans) {
       run_join(orphan, reconnect_start(orphan), /*is_reconnect=*/true);
     }
     if (params_.paranoid_checks) tree_.validate();
@@ -376,7 +449,7 @@ void Session::crash(net::HostId h) {
   // streak plus timeout elapses. Until then the data plane counts their
   // subtrees as expecting-but-not-receiving (see emit_chunk).
   const sim::Time now = sim_.now();
-  for (const net::HostId orphan : orphan_scratch_) {
+  for (const net::HostId orphan : scratch_.orphans) {
     HeartbeatState& hb = heartbeats_.at(orphan);
     hb.orphaned = true;
     hb.orphaned_at = now;
@@ -385,6 +458,7 @@ void Session::crash(net::HostId h) {
 }
 
 OpStats Session::refine(net::HostId h) {
+  const PhaseTimer timer(params_.profile, profile_.refine_secs);
   const MemberState& m = tree_.member(h);
   if (!m.alive || m.parent == kInvalidHost) return {};
   OpStats stats = protocol_.execute_refine(*this, h);
@@ -407,12 +481,46 @@ double Session::measure(net::HostId from, net::HostId to, OpStats& stats) {
   return v;
 }
 
+bool Session::parallel_probes_enabled(std::size_t batch) const {
+  // Below this size the pool handoff costs more than the probes; typical
+  // walk batches (parent + children, <= ~6) stay on the serial path and the
+  // big refinement / flash-crowd candidate sets go wide.
+  constexpr std::size_t kMinParallelProbes = 8;
+  return params_.threads != 1 && batch >= kMinParallelProbes &&
+         underlay_.concurrent_reads() && metric_.concurrent_probe_safe();
+}
+
 std::span<const double> Session::measure_parallel(
     net::HostId from, std::span<const net::HostId> targets,
     std::vector<double>& out, OpStats& stats) {
   out.clear();
   out.reserve(targets.size());
   sim::Time slowest = 0.0;
+  if (parallel_probes_enabled(targets.size())) {
+    ++totals_.parallel_probe_batches;
+    // Pure phase in parallel: per-target underlay reads land in per-index
+    // slots. Serial commit below applies the rng draws in FIFO target
+    // order, so values, costs and the rng stream match the serial path bit
+    // for bit (MetricProvider contract: measure == finish_probe(probe_base)).
+    scratch_.probe_bases.resize(targets.size());
+    scratch_.probe_costs.resize(targets.size());
+    util::TaskPool::global().for_n(
+        targets.size(), static_cast<std::size_t>(params_.threads),
+        [&](const util::TaskPool::Context& ctx) {
+          const net::HostId t = targets[ctx.index];
+          scratch_.probe_bases[ctx.index] = metric_.probe_base(underlay_, from, t);
+          scratch_.probe_costs[ctx.index] = {metric_.messages_per_measurement(),
+                                     metric_.measurement_time(underlay_, from, t)};
+        });
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out.push_back(metric_.finish_probe(scratch_.probe_bases[i], rng_));
+      slowest = std::max(
+          slowest, lossy_elapsed(from, targets[i], scratch_.probe_costs[i].messages,
+                                 scratch_.probe_costs[i].elapsed, stats));
+    }
+    stats.elapsed += slowest;
+    return out;
+  }
   for (const net::HostId t : targets) {
     MetricProvider::Cost cost;
     out.push_back(metric_.measure_with_cost(underlay_, from, t, rng_, cost));
@@ -473,11 +581,29 @@ bool Session::eligible_parent(net::HostId joiner, net::HostId candidate) const {
 }
 
 void Session::arm_refinement(net::HostId h) {
-  refine_timers_[h] = std::make_unique<sim::Periodic>(
-      sim_, protocol_.refinement_period(), [this, h] { refine(h); });
+  std::vector<std::uint64_t>& slab = walk_scratch_->refine_events;
+  if (slab.size() < tree_.num_hosts()) {
+    slab.resize(tree_.num_hosts(), sim::kInvalidEvent);
+  }
+  if (slab[h] != sim::kInvalidEvent) sim_.cancel(slab[h]);
+  const sim::Time period = protocol_.refinement_period();
+  // The tick re-arms into its own slab slot (reschedule_current_in keeps the
+  // id), so the stored EventId stays valid for the member's whole tenure.
+  // Disarming mid-tick suppresses the re-arm via the simulator's
+  // firing-cancelled state, exactly like Periodic::stop() did.
+  slab[h] = sim_.schedule_in(period, [this, h, period] {
+    refine(h);
+    sim_.reschedule_current_in(period);
+  });
 }
 
-void Session::disarm_refinement(net::HostId h) { refine_timers_.erase(h); }
+void Session::disarm_refinement(net::HostId h) {
+  std::vector<std::uint64_t>& slab = walk_scratch_->refine_events;
+  if (h < slab.size() && slab[h] != sim::kInvalidEvent) {
+    sim_.cancel(slab[h]);
+    slab[h] = sim::kInvalidEvent;
+  }
+}
 
 void Session::ensure_heartbeat(net::HostId h) {
   if (params_.faults.heartbeat_period <= 0.0) return;
@@ -587,24 +713,25 @@ void Session::complete_detection(net::HostId h) {
 void Session::reset_window() { window_ = Counters{}; }
 
 std::vector<TimingRecord> Session::take_startup_records() {
-  return std::exchange(startup_records_, {});
+  return std::exchange(scratch_.startup_records, {});
 }
 
 std::vector<TimingRecord> Session::take_reconnect_records() {
-  return std::exchange(reconnect_records_, {});
+  return std::exchange(scratch_.reconnect_records, {});
 }
 
 void Session::drain_startup_records(std::vector<TimingRecord>& out) {
   out.clear();
-  std::swap(out, startup_records_);
+  std::swap(out, scratch_.startup_records);
 }
 
 void Session::drain_reconnect_records(std::vector<TimingRecord>& out) {
   out.clear();
-  std::swap(out, reconnect_records_);
+  std::swap(out, scratch_.reconnect_records);
 }
 
 void Session::emit_chunk() {
+  const PhaseTimer timer(params_.profile, profile_.flood_secs);
   ++window_.chunks_emitted;
   ++totals_.chunks_emitted;
   const sim::Time now = sim_.now();
@@ -625,41 +752,89 @@ void Session::emit_chunk() {
   // Leaves are never pushed, and the rng draw order matches the naive
   // traversal exactly (skipped leaf frames drew nothing), preserving
   // determinism.
-  std::uint64_t transmissions = 0;
-  std::uint64_t expected = 0;
-  std::uint64_t delivered_total = 0;
   FloodTable& fl = tree_.flood();
-
-  chunk_stack_.clear();
-  chunk_stack_.push_back({params_.source, true});
-  while (!chunk_stack_.empty()) {
-    const ChunkFrame f = chunk_stack_.back();
-    chunk_stack_.pop_back();
-    for (const net::HostId c : tree_.member_unchecked(f.host).children) {
+  FloodShard total;
+  if (parallel_flood_enabled()) {
+    ++totals_.parallel_floods;
+    // Sharded flood: the source's own edges run serially (preserving child
+    // order for the shard seeds), then each source-child subtree floods on
+    // its own worker. Shards are disjoint — every FloodTable row belongs to
+    // exactly one subtree — and a zero_loss() underlay means no edge ever
+    // draws (Rng::chance(0) is draw-free in the serial path too), so the
+    // counters, the per-member tables and the rng stream are all
+    // bit-identical to the serial traversal for any worker count.
+    scratch_.flood_seeds.clear();
+    for (const net::HostId c : tree_.member_unchecked(params_.source).children) {
       bool delivered = false;
-      if (f.delivered) {
-        ++transmissions;
-        // A playout buffer forgives outages that end within buffer_seconds:
-        // the chunk is recovered from the new parent before playback needs
-        // it, so the viewer never sees the gap.
-        if (buffered_now >= fl.receiving_since[c]) {
-          if (fl.uplink_loss_parent[c] != f.host) {
-            fl.uplink_loss_parent[c] = f.host;
-            fl.uplink_loss[c] = underlay_.loss(f.host, c);
-          }
-          delivered = !rng_.chance(fl.uplink_loss[c]);
+      ++total.transmissions;
+      if (buffered_now >= fl.receiving_since[c]) {
+        if (fl.uplink_loss_parent[c] != params_.source) {
+          fl.uplink_loss_parent[c] = params_.source;
+          fl.uplink_loss[c] = underlay_.loss(params_.source, c);
         }
+        delivered = !rng_.chance(fl.uplink_loss[c]);
       }
       if (now >= fl.in_session_since[c]) {
         ++fl.chunks_expected[c];
-        ++expected;
+        ++total.expected;
         if (delivered) {
           ++fl.chunks_received[c];
-          ++delivered_total;
+          ++total.delivered;
         }
       }
       if (!tree_.member_unchecked(c).children.empty()) {
-        chunk_stack_.push_back({c, delivered});
+        scratch_.flood_seeds.push_back({c, delivered});
+      }
+    }
+    scratch_.flood_results.assign(scratch_.flood_seeds.size(), FloodShard{});
+    if (scratch_.flood_stacks.size() < scratch_.flood_seeds.size()) {
+      scratch_.flood_stacks.resize(scratch_.flood_seeds.size());
+    }
+    util::TaskPool::global().for_n(
+        scratch_.flood_seeds.size(), static_cast<std::size_t>(params_.threads),
+        [&](const util::TaskPool::Context& ctx) {
+          flood_subtree(scratch_.flood_seeds[ctx.index], now, buffered_now,
+                        scratch_.flood_stacks[ctx.index], scratch_.flood_results[ctx.index]);
+        });
+    // Serial reduction in fixed seed order (integer sums — associative, but
+    // FIFO keeps the policy uniform with the probe path).
+    for (const FloodShard& s : scratch_.flood_results) {
+      total.transmissions += s.transmissions;
+      total.expected += s.expected;
+      total.delivered += s.delivered;
+    }
+  } else {
+    scratch_.chunk_stack.clear();
+    scratch_.chunk_stack.push_back({params_.source, true});
+    while (!scratch_.chunk_stack.empty()) {
+      const ChunkFrame f = scratch_.chunk_stack.back();
+      scratch_.chunk_stack.pop_back();
+      for (const net::HostId c : tree_.member_unchecked(f.host).children) {
+        bool delivered = false;
+        if (f.delivered) {
+          ++total.transmissions;
+          // A playout buffer forgives outages that end within
+          // buffer_seconds: the chunk is recovered from the new parent
+          // before playback needs it, so the viewer never sees the gap.
+          if (buffered_now >= fl.receiving_since[c]) {
+            if (fl.uplink_loss_parent[c] != f.host) {
+              fl.uplink_loss_parent[c] = f.host;
+              fl.uplink_loss[c] = underlay_.loss(f.host, c);
+            }
+            delivered = !rng_.chance(fl.uplink_loss[c]);
+          }
+        }
+        if (now >= fl.in_session_since[c]) {
+          ++fl.chunks_expected[c];
+          ++total.expected;
+          if (delivered) {
+            ++fl.chunks_received[c];
+            ++total.delivered;
+          }
+        }
+        if (!tree_.member_unchecked(c).children.empty()) {
+          scratch_.chunk_stack.push_back({c, delivered});
+        }
       }
     }
   }
@@ -669,26 +844,71 @@ void Session::emit_chunk() {
   // chunks — that gap IS the churn loss a crash causes. Walk them
   // explicitly; draws nothing and costs nothing when no crash is pending.
   for (const net::HostId root : crash_orphans_) {
-    chunk_stack_.push_back({root, false});
-    while (!chunk_stack_.empty()) {
-      const ChunkFrame f = chunk_stack_.back();
-      chunk_stack_.pop_back();
+    scratch_.chunk_stack.push_back({root, false});
+    while (!scratch_.chunk_stack.empty()) {
+      const ChunkFrame f = scratch_.chunk_stack.back();
+      scratch_.chunk_stack.pop_back();
       if (now >= fl.in_session_since[f.host]) {
         ++fl.chunks_expected[f.host];
-        ++expected;
+        ++total.expected;
       }
       for (const net::HostId c : tree_.member_unchecked(f.host).children) {
-        chunk_stack_.push_back({c, false});
+        scratch_.chunk_stack.push_back({c, false});
       }
     }
   }
 
-  window_.data_transmissions += transmissions;
-  totals_.data_transmissions += transmissions;
-  window_.chunks_expected += expected;
-  totals_.chunks_expected += expected;
-  window_.chunks_delivered += delivered_total;
-  totals_.chunks_delivered += delivered_total;
+  window_.data_transmissions += total.transmissions;
+  totals_.data_transmissions += total.transmissions;
+  window_.chunks_expected += total.expected;
+  totals_.chunks_expected += total.expected;
+  window_.chunks_delivered += total.delivered;
+  totals_.chunks_delivered += total.delivered;
+}
+
+bool Session::parallel_flood_enabled() const {
+  return params_.threads != 1 && underlay_.concurrent_reads() &&
+         underlay_.zero_loss();
+}
+
+void Session::flood_subtree(ChunkFrame seed, sim::Time now,
+                            sim::Time buffered_now,
+                            std::vector<ChunkFrame>& stack, FloodShard& res) {
+  // The per-worker body of the sharded flood: identical traversal and
+  // identical FloodTable writes as the serial loop, except the loss draw —
+  // zero_loss() makes it chance(0), which never fires and draws nothing, so
+  // `delivered` reduces to the buffered-receiving test.
+  FloodTable& fl = tree_.flood();
+  stack.clear();
+  stack.push_back(seed);
+  while (!stack.empty()) {
+    const ChunkFrame f = stack.back();
+    stack.pop_back();
+    for (const net::HostId c : tree_.member_unchecked(f.host).children) {
+      bool delivered = false;
+      if (f.delivered) {
+        ++res.transmissions;
+        if (buffered_now >= fl.receiving_since[c]) {
+          if (fl.uplink_loss_parent[c] != f.host) {
+            fl.uplink_loss_parent[c] = f.host;
+            fl.uplink_loss[c] = underlay_.loss(f.host, c);
+          }
+          delivered = true;
+        }
+      }
+      if (now >= fl.in_session_since[c]) {
+        ++fl.chunks_expected[c];
+        ++res.expected;
+        if (delivered) {
+          ++fl.chunks_received[c];
+          ++res.delivered;
+        }
+      }
+      if (!tree_.member_unchecked(c).children.empty()) {
+        stack.push_back({c, delivered});
+      }
+    }
+  }
 }
 
 }  // namespace vdm::overlay

@@ -89,6 +89,30 @@ struct SessionParams {
   JoinMode join_mode = JoinMode::kSequential;
   /// Crash-failure and control-loss model; defaults are all-off.
   FaultParams faults;
+  /// Worker threads for intra-session parallel phases — probe batches and
+  /// per-subtree chunk-flood shards: 1 = fully serial (default), 0 =
+  /// hardware concurrency, N = cap. Every run_once scalar is bit-identical
+  /// for every value: parallel phases compute pure underlay reads
+  /// concurrently and commit results (and all rng draws) serially in fixed
+  /// FIFO order, and they only engage at all when the underlay reports
+  /// concurrent_reads() (matrix/coord substrates; the graph substrate's
+  /// mutable caches keep it serial regardless of this knob).
+  int threads = 1;
+  /// Accumulate wall-clock time per control/data-plane phase (join walks,
+  /// refinement, chunk floods) for vdmsim --profile. Off by default: the
+  /// hot paths stay free of clock reads, and results are unaffected either
+  /// way (the profile never feeds back into the simulation).
+  bool profile = false;
+};
+
+/// Wall-clock seconds spent per phase of one run (SessionParams::profile).
+/// Join covers every tree walk that attaches a member — fresh arrivals,
+/// batched concurrent drains and orphan reconnections alike; metrics_secs
+/// is filled by the runner (the collector's capture sweeps), not here.
+struct PhaseProfile {
+  double join_secs = 0.0;
+  double refine_secs = 0.0;
+  double flood_secs = 0.0;
 };
 
 /// Record of one completed join or reconnection.
@@ -114,7 +138,56 @@ struct TimingRecord {
 /// strategy objects invoked from here. All randomness flows through the
 /// session's Rng, so a (seed, scenario) pair reproduces a run exactly.
 class Session {
+ private:
+  /// One node of the per-chunk flood traversal.
+  struct ChunkFrame {
+    net::HostId host;
+    bool delivered;
+  };
+  /// Per-shard counters of a parallel flood (see flood_subtree).
+  struct FloodShard {
+    std::uint64_t transmissions = 0;
+    std::uint64_t expected = 0;
+    std::uint64_t delivered = 0;
+  };
+
  public:
+  /// Arena-carried reusable buffers of the session's event paths: the
+  /// chunk-flood traversal stack, the parallel-phase probe/flood scratch,
+  /// the leave/crash orphan list and the timing-record accumulators. One
+  /// bundle lives on each Session; the experiment runner swaps a warm one
+  /// in from its RunScratch (swap_scratch) so steady-state sweeps run the
+  /// whole data plane and churn path without allocating.
+  struct Scratch {
+    std::vector<ChunkFrame> chunk_stack;
+    std::vector<MetricProvider::ProbeBase> probe_bases;
+    std::vector<MetricProvider::Cost> probe_costs;
+    std::vector<ChunkFrame> flood_seeds;
+    std::vector<FloodShard> flood_results;
+    std::vector<std::vector<ChunkFrame>> flood_stacks;
+    std::vector<net::HostId> orphans;
+    std::vector<TimingRecord> startup_records;
+    std::vector<TimingRecord> reconnect_records;
+
+    /// Heap bytes reserved — folded into RunScratch::capacity_bytes so the
+    /// arena grow gate covers the data plane and churn paths.
+    std::size_t capacity_bytes() const {
+      std::size_t bytes =
+          (chunk_stack.capacity() + flood_seeds.capacity()) * sizeof(ChunkFrame) +
+          probe_bases.capacity() * sizeof(MetricProvider::ProbeBase) +
+          probe_costs.capacity() * sizeof(MetricProvider::Cost) +
+          flood_results.capacity() * sizeof(FloodShard) +
+          flood_stacks.capacity() * sizeof(std::vector<ChunkFrame>) +
+          orphans.capacity() * sizeof(net::HostId) +
+          (startup_records.capacity() + reconnect_records.capacity()) *
+              sizeof(TimingRecord);
+      for (const std::vector<ChunkFrame>& s : flood_stacks) {
+        bytes += s.capacity() * sizeof(ChunkFrame);
+      }
+      return bytes;
+    }
+  };
+
   Session(sim::Simulator& simulator, const net::Underlay& underlay,
           Protocol& protocol, const MetricProvider& metric,
           const SessionParams& params, util::Rng rng);
@@ -218,6 +291,12 @@ class Session {
   /// ring storage. A null `other` is populated first.
   void swap_placement_index(std::unique_ptr<PlacementIndex>& other);
 
+  /// Arena shuttle for the event-path buffers (see Scratch): swap a warm
+  /// bundle in before start() and back out after the run. The incoming
+  /// buffers are cleared on use, never on swap, so stale contents are
+  /// harmless and capacity always survives.
+  void swap_scratch(Scratch& other) { std::swap(scratch_, other); }
+
   /// Live per-host reservation counts of the concurrent join pipeline
   /// (non-zero only mid-drain; tests observe it from a WalkObserver).
   const std::vector<int>& join_reservations() const;
@@ -254,11 +333,21 @@ class Session {
     std::uint64_t crashes = 0;
     std::uint64_t refines_run = 0;
     std::uint64_t refine_switches = 0;
+    /// Diagnostics, not metrics: chunk floods that ran the sharded
+    /// multi-worker path and probe batches that ran the parallel
+    /// compute/serial-commit path. Both count engagements only — results
+    /// are bitwise identical either way — so benches and --profile can
+    /// assert the parallel machinery actually ran (counter-gated on
+    /// single-core recording hosts, where wall clock proves nothing).
+    std::uint64_t parallel_floods = 0;
+    std::uint64_t parallel_probe_batches = 0;
   };
   /// Counters since the last reset_window() (per-epoch metrics).
   const Counters& window() const { return window_; }
   /// Counters since start() (whole-run metrics).
   const Counters& totals() const { return totals_; }
+  /// Per-phase wall clock since start(); all-zero unless params.profile.
+  const PhaseProfile& profile() const { return profile_; }
   void reset_window();
 
   /// Startup / reconnection records accumulated since the last take.
@@ -306,11 +395,18 @@ class Session {
                           sim::Time base, OpStats& stats);
   void emit_chunk();
 
-  /// One node of the per-chunk flood traversal.
-  struct ChunkFrame {
-    net::HostId host;
-    bool delivered;
-  };
+  /// True when this probe batch may compute its pure phase concurrently
+  /// (threads enabled, underlay and metric both safe, batch big enough to
+  /// beat the pool handoff).
+  bool parallel_probes_enabled(std::size_t batch) const;
+  /// True when emit_chunk may shard the flood across subtrees: requires a
+  /// draw-free data plane (zero_loss) so no shard ever touches the rng.
+  bool parallel_flood_enabled() const;
+  /// Floods the subtree below `seed` (exclusive), accumulating into `res`.
+  /// Pure reads + writes to this subtree's FloodTable rows only — safe to
+  /// run one shard per thread, since subtrees are disjoint.
+  void flood_subtree(ChunkFrame seed, sim::Time now, sim::Time buffered_now,
+                     std::vector<ChunkFrame>& stack, FloodShard& res);
 
   sim::Simulator& sim_;
   const net::Underlay& underlay_;
@@ -336,8 +432,10 @@ class Session {
   std::uint64_t best_cohort_n_ = 0;
   sim::Time best_cohort_span_ = 0.0;
 
-  std::unique_ptr<sim::Periodic> stream_timer_;
-  std::unordered_map<net::HostId, std::unique_ptr<sim::Periodic>> refine_timers_;
+  /// The data-plane chunk clock: one event rescheduled in place after each
+  /// tick — the EventId analog of sim::Periodic, so starting the data plane
+  /// costs no heap timer object per run.
+  sim::EventId stream_event_ = sim::kInvalidEvent;
 
   /// Per-member failure-detector state (only populated when
   /// faults.heartbeat_period > 0).
@@ -363,21 +461,15 @@ class Session {
   /// stays deterministic.
   std::vector<net::HostId> crash_orphans_;
 
-  /// Reusable traversal scratch: emit_chunk runs chunk_rate times per
-  /// simulated second, so a fresh vector per chunk would dominate the data
-  /// plane's allocation profile.
-  std::vector<ChunkFrame> chunk_stack_;
-
-  /// Reusable orphan list for leave()/crash(): departures happen every
-  /// churn slot, so the per-departure deactivate() result reuses one
-  /// buffer. Never re-entered — each departure is a top-level sim event and
-  /// the rejoin path below it never deactivates.
-  std::vector<net::HostId> orphan_scratch_;
+  /// Reusable event-path buffers (see Scratch): the chunk-flood stack and
+  /// parallel-phase slots, the leave/crash orphan list (never re-entered —
+  /// each departure is a top-level sim event and the rejoin path below it
+  /// never deactivates), and the timing-record accumulators.
+  Scratch scratch_;
 
   Counters window_;
   Counters totals_;
-  std::vector<TimingRecord> startup_records_;
-  std::vector<TimingRecord> reconnect_records_;
+  PhaseProfile profile_;
   bool started_ = false;
 };
 

@@ -103,6 +103,15 @@ struct WalkScratch {
   /// Stable copies of each walker's decided adoptions (see JoinWalker).
   std::vector<WalkAdoption> adoption_pool;
 
+  /// Per-member refinement-timer slab, indexed by host id: the sim::EventId
+  /// of the member's pending refine tick (0 == sim::kInvalidEvent when
+  /// disarmed). Rides this scratch so the table's capacity survives between
+  /// runs with the rest of the per-member state — arming and disarming
+  /// refinement timers allocates nothing in steady state. Session::start()
+  /// zeroes it, since ids from a previous run are meaningless after the
+  /// simulator resets.
+  std::vector<std::uint64_t> refine_events;
+
   /// Heap bytes currently reserved — folded into RunScratch::capacity_bytes
   /// so the arena grow gate (arena_grow_per_iter == 0) covers the walk path.
   std::size_t capacity_bytes() const {
@@ -113,7 +122,8 @@ struct WalkScratch {
            pending_joins.capacity() * sizeof(PendingJoin) +
            walkers.capacity() * sizeof(JoinWalker) +
            (queue.capacity() + parked.capacity()) * sizeof(std::uint32_t) +
-           reserved.capacity() * sizeof(int);
+           reserved.capacity() * sizeof(int) +
+           refine_events.capacity() * sizeof(std::uint64_t);
   }
 };
 

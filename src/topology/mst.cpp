@@ -60,6 +60,41 @@ SpanningTree prim_mst(const std::vector<net::HostId>& members, net::HostId root,
   return tree;
 }
 
+double prim_mst_cost(net::HostId root, const HostMetric& metric,
+                     MstScratch& scratch) {
+  const std::vector<net::HostId>& members = scratch.members;
+  VDM_REQUIRE(!members.empty());
+  const std::size_t n = members.size();
+  const std::size_t root_idx = index_of(members, root);
+
+  scratch.in_tree.assign(n, 0);
+  scratch.best.assign(n, kInf);
+  scratch.best[root_idx] = 0.0;
+  std::vector<char>& in_tree = scratch.in_tree;
+  std::vector<double>& best = scratch.best;
+
+  double total_cost = 0.0;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t u = n;
+    double u_cost = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < u_cost) {
+        u_cost = best[i];
+        u = i;
+      }
+    }
+    VDM_REQUIRE_MSG(u < n, "metric produced an unreachable member");
+    in_tree[u] = 1;
+    if (u != root_idx) total_cost += u_cost;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v] || v == u) continue;
+      const double w = metric(members[u], members[v]);
+      if (w < best[v]) best[v] = w;
+    }
+  }
+  return total_cost;
+}
+
 SpanningTree degree_constrained_tree(const std::vector<net::HostId>& members,
                                      net::HostId root, const HostMetric& metric,
                                      const std::vector<int>& degree_limit) {

@@ -26,6 +26,26 @@ struct SpanningTree {
 SpanningTree prim_mst(const std::vector<net::HostId>& members, net::HostId root,
                       const HostMetric& metric);
 
+/// Reusable working set for prim_mst_cost. Callers that compute the ratio
+/// every run keep one of these warm so the O(n) label arrays (and the member
+/// gather buffer, which the caller fills) stop costing an allocation per run.
+struct MstScratch {
+  std::vector<net::HostId> members;  ///< caller-filled member gather buffer
+  std::vector<char> in_tree;
+  std::vector<double> best;
+
+  std::size_t capacity_bytes() const {
+    return members.capacity() * sizeof(net::HostId) + in_tree.capacity() +
+           best.capacity() * sizeof(double);
+  }
+};
+
+/// Total cost of the exact MST over `scratch.members` (same tree as
+/// prim_mst, cost only): no parent array is produced, so nothing is
+/// allocated once `scratch` is warm.
+double prim_mst_cost(net::HostId root, const HostMetric& metric,
+                     MstScratch& scratch);
+
 /// Degree-constrained spanning tree via Prim with a per-node residual-degree
 /// filter (greedy; DCMST is NP-hard, this is the practical reference the
 /// paper's "converge to MST within degree constraints" goal implies).

@@ -64,11 +64,13 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
   net::Graph& g = topo.graph;
 
   // Domain-shuffle scratch shared by every connect_domain call below.
-  std::vector<net::NodeId> order;
+  std::vector<net::NodeId>& order = topo.order_scratch;
 
   // 1. Transit domains.
-  std::vector<std::vector<net::NodeId>> transit(p.transit_domains);
+  std::vector<std::vector<net::NodeId>>& transit = topo.transit_scratch;
+  transit.resize(p.transit_domains);
   for (auto& domain : transit) {
+    domain.clear();
     domain.reserve(p.routers_per_transit);
     for (std::size_t i = 0; i < p.routers_per_transit; ++i) {
       const net::NodeId v = g.add_node();
@@ -110,7 +112,7 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
   // 3. Stub domains hanging off each transit router. One member buffer
   //    serves every stub domain.
   std::uint32_t stub_domain_index = 0;
-  std::vector<net::NodeId> stub;
+  std::vector<net::NodeId>& stub = topo.stub_scratch;
   for (const net::NodeId anchor : topo.transit_routers) {
     for (std::size_t s = 0; s < p.stub_domains_per_transit_router; ++s) {
       stub.clear();
@@ -131,7 +133,9 @@ void make_transit_stub(const TransitStubParams& p, util::Rng& rng,
     }
   }
 
-  VDM_REQUIRE_MSG(g.connected(), "generator must produce a connected graph");
+  // stub_scratch doubles as the DFS stack: its stub-domain duty ended above.
+  VDM_REQUIRE_MSG(g.connected(topo.visited_scratch, topo.stub_scratch),
+                  "generator must produce a connected graph");
 }
 
 void attach_hosts_into(net::Graph& graph,

@@ -51,6 +51,15 @@ struct TransitStubTopology {
   /// stub_domain_of[v] for stub routers: dense domain index (metadata for
   /// locality-aware experiments); kInvalidNode-equivalent for transit.
   std::vector<std::uint32_t> stub_domain_of;
+
+  // Generator working buffers (domain shuffle order, per-transit-domain
+  // member lists, stub member list). They live on the topology so that the
+  // arena variant of make_transit_stub keeps them warm across runs; their
+  // contents between calls are scratch, not output.
+  std::vector<net::NodeId> order_scratch;
+  std::vector<std::vector<net::NodeId>> transit_scratch;
+  std::vector<net::NodeId> stub_scratch;
+  std::vector<char> visited_scratch;  ///< connectivity-check DFS buffer
 };
 
 /// Builds the router graph. Deterministic in `rng`.

@@ -102,7 +102,7 @@ void make_waxman(const WaxmanParams& p, util::Rng& rng, WaxmanTopology& topo) {
     }
   }
 
-  VDM_REQUIRE(topo.graph.connected());
+  VDM_REQUIRE(topo.graph.connected(topo.visited_scratch, topo.stack_scratch));
 }
 
 }  // namespace vdm::topo

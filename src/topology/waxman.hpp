@@ -31,6 +31,11 @@ struct WaxmanTopology {
   net::Graph graph;
   /// Unit-square coordinates, index = NodeId.
   std::vector<std::pair<double, double>> coords;
+
+  // Connectivity-check working buffers; kept here so the arena variant's
+  // final validation is allocation-free once warm.
+  std::vector<char> visited_scratch;
+  std::vector<net::NodeId> stack_scratch;
 };
 
 WaxmanTopology make_waxman(const WaxmanParams& params, util::Rng& rng);

@@ -1,15 +1,15 @@
-// Steady-state allocation budget for arena run_once. The RunScratch arena
-// eliminated per-run scaffolding (topology, underlay, collector, walk
-// buffers, membership tree); what remains is a small fixed set of per-run
-// constructions (Session internals, protocol/metric objects, simulator
-// warm-up). This test pins that remainder with a hard ceiling so a future
-// change that quietly reintroduces per-member or per-event allocations
-// fails loudly instead of showing up as a bench regression months later.
+// Steady-state allocation budget for arena run_once: ZERO. The RunScratch
+// arena owns every piece of per-run scaffolding — topology, underlay,
+// collector, walk buffers, membership tree, Session working buffers, the
+// refine/stream timer slabs, the MST-ratio working set and the cached
+// protocol/metric objects — so a warm arena replays a shape without
+// touching the heap at all. This test pins that exactly, so a change that
+// reintroduces even one per-run construction fails loudly instead of
+// showing up as a bench regression months later.
 //
 // The global-new counter mirrors bench/bench_e2e.cpp. gtest itself
 // allocates (assertion bookkeeping), so the measured window contains only
-// the run_once call, and the budget leaves roughly 3x headroom over the
-// observed steady state.
+// the run_once call.
 
 #include <gtest/gtest.h>
 
@@ -82,15 +82,11 @@ TEST(AllocBudget, SteadyStateArenaRunStaysUnderBudget) {
   EXPECT_GT(r.final_members, 0u);
   EXPECT_EQ(scratch.grow_events(), grows_before)
       << "a warm arena grew during a repeat run of the same shape";
-  // Fixed per-run constructions only — independent of member count, churn
-  // volume and chunk count. Observed steady state is ~80 (Session
-  // internals, protocol/metric objects, timing-record handoff, MST
-  // baseline); the budget leaves ~60% headroom and sits more than an order
-  // of magnitude below the pre-arena ~1.8k.
-  constexpr std::uint64_t kBudget = 128;
-  EXPECT_LE(allocs, kBudget)
+  // Down from ~1.8k pre-arena and ~80 pre-slab: a warm arena replays the
+  // shape with no heap traffic whatsoever.
+  EXPECT_EQ(allocs, 0u)
       << "steady-state run_once allocated " << allocs
-      << " times; per-member or per-event allocation crept back in";
+      << " times; per-run allocation crept back in";
 }
 
 TEST(AllocBudget, CoordSubstrateStaysUnderBudgetToo) {
@@ -109,8 +105,7 @@ TEST(AllocBudget, CoordSubstrateStaysUnderBudgetToo) {
   const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - before;
 
   EXPECT_EQ(scratch.grow_events(), grows_before);
-  constexpr std::uint64_t kBudget = 128;  // observed ~60: no matrix refill
-  EXPECT_LE(allocs, kBudget);
+  EXPECT_EQ(allocs, 0u);
 }
 
 }  // namespace

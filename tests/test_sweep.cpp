@@ -12,8 +12,10 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "overlay/walk.hpp"
 #include "util/require.hpp"
 
 namespace vdm::experiments {
@@ -199,6 +201,43 @@ TEST(Sweep, ProgressReportsEveryTaskOnce) {
   // The callback is serialized and `done` counts completions, so the
   // sequence is exactly 1..total in order regardless of task interleaving.
   for (std::size_t i = 0; i < dones.size(); ++i) EXPECT_EQ(dones[i], i + 1);
+}
+
+/// Unsynchronized on purpose: if the sweep ran this observer from more than
+/// one worker, the vector writes would race (TSan) and the recorded step
+/// sequence would interleave nondeterministically.
+class RecordingObserver final : public overlay::WalkObserver {
+ public:
+  void on_step(const overlay::WalkStep& s) override {
+    steps.push_back({s.joiner, s.node, s.step});
+  }
+  std::vector<std::tuple<net::HostId, net::HostId, int>> steps;
+};
+
+TEST(Sweep, WalkObserverClampsGridToOneWorker) {
+  // Reference sequence: explicitly serial.
+  RecordingObserver serial;
+  std::vector<RunConfig> points{small_config(), small_config()};
+  points[1].seed += 100;
+  for (RunConfig& p : points) p.walk_observer = &serial;
+  SweepOptions one;
+  one.threads = 1;
+  const std::vector<AggregateResult> a = run_grid(points, 2, one);
+
+  // Same grid asking for 4 workers: the observer must force one worker, so
+  // the observed step stream is byte-for-byte the serial stream.
+  RecordingObserver clamped;
+  for (RunConfig& p : points) p.walk_observer = &clamped;
+  SweepOptions four;
+  four.threads = 4;
+  const std::vector<AggregateResult> b = run_grid(points, 2, four);
+
+  ASSERT_FALSE(serial.steps.empty());
+  EXPECT_EQ(serial.steps, clamped.steps);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(fingerprint(a[i].runs.front()), fingerprint(b[i].runs.front()));
+  }
 }
 
 TEST(Sweep, EmptyGridReturnsEmpty) {

@@ -52,7 +52,8 @@ double to_ms(double value, const std::string& unit) {
   return value;  // unknown unit: pass through
 }
 
-/// Parses benchmark's humanized counter values ("1.698k", "23", "2.5M").
+/// Parses benchmark's humanized counter values ("1.698k", "23", "2.5M",
+/// "766.754u" — sub-unit counters get m/u/n/p suffixes).
 double parse_counter(const std::string& text) {
   std::size_t pos = 0;
   const double v = std::stod(text, &pos);
@@ -61,6 +62,10 @@ double parse_counter(const std::string& text) {
       case 'k': return v * 1e3;
       case 'M': return v * 1e6;
       case 'G': return v * 1e9;
+      case 'm': return v * 1e-3;
+      case 'u': return v * 1e-6;
+      case 'n': return v * 1e-9;
+      case 'p': return v * 1e-12;
       default: break;
     }
   }

@@ -74,6 +74,12 @@ int usage() {
       "  --seeds      independent repetitions               (default 8)\n"
       "  --seed       base seed                             (default 1)\n"
       "  --threads    worker cap for the seed sweep; 0 = hardware (default 0)\n"
+      "  --run-threads  worker threads for the parallel phases inside one\n"
+      "               seed (probe batches, chunk-flood shards); 0 = hardware\n"
+      "               (default 1 = serial; results are bit-identical for\n"
+      "               any value)\n"
+      "  --profile    print a per-phase wall-time footer (join / refine /\n"
+      "               flood / metrics, summed across seeds) after the table\n"
       "  --quiet      suppress the per-seed progress line on stderr\n"
       "  --trace-joins  print one line per tree-walk step (forces --threads 1;\n"
       "               pair with small --members/--seeds, it is verbose)\n"
@@ -208,6 +214,8 @@ int main(int argc, char** argv) {
     cfg.session.faults.control_loss_extra = flags.get_double("control-loss", 0.0);
   }
   cfg.session.faults.retry_timeout = flags.get_double("retry-timeout", 0.25);
+  cfg.session.threads = static_cast<int>(flags.get_int("run-threads", 1));
+  cfg.session.profile = flags.get_bool("profile", false);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
   const std::string workload = flags.get("workload", "slots");
@@ -257,6 +265,11 @@ int main(int argc, char** argv) {
   StdoutWalkTrace trace;
   if (flags.get_bool("trace-joins", false)) {
     cfg.walk_observer = &trace;
+    if (sweep.threads != 1) {
+      std::cerr << "note: --trace-joins serializes the sweep; overriding "
+                   "--threads "
+                << sweep.threads << " (0 = hardware) to 1\n";
+    }
     sweep.threads = 1;  // keep the interleaved trace deterministic
   }
   const auto start = std::chrono::steady_clock::now();
@@ -308,6 +321,27 @@ int main(int argc, char** argv) {
               << overlay::workload_kind_name(cfg.workload.kind) << ", churn "
               << 100 * cfg.scenario.churn_rate << "%, " << seeds << " seeds\n\n";
     t.print(std::cout);
+  }
+
+  if (cfg.session.profile) {
+    double join = 0.0, refine = 0.0, flood = 0.0, metrics_t = 0.0;
+    std::uint64_t par_floods = 0, par_batches = 0;
+    for (const RunResult& r : agg.runs) {
+      join += r.profile_join_secs;
+      refine += r.profile_refine_secs;
+      flood += r.profile_flood_secs;
+      metrics_t += r.profile_metrics_secs;
+      par_floods += r.parallel_floods;
+      par_batches += r.parallel_probe_batches;
+    }
+    std::printf(
+        "\nprofile (%zu seeds): join %.3fs  refine %.3fs  flood %.3fs  "
+        "metrics %.3fs\n"
+        "  run-threads %d (parallel floods %llu, parallel probe batches "
+        "%llu), sweep workers %zu\n",
+        agg.runs.size(), join, refine, flood, metrics_t, cfg.session.threads,
+        static_cast<unsigned long long>(par_floods),
+        static_cast<unsigned long long>(par_batches), sweep.threads);
   }
 
   if (want_trajectory && !agg.runs.empty()) {
