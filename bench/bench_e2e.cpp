@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdlib>
 #include <new>
+#include <span>
 #include <vector>
 
 #include "experiments/runner.hpp"
@@ -25,6 +28,7 @@
 #include "topology/waxman.hpp"
 #include "util/rng.hpp"
 #include "util/task_pool.hpp"
+#include "wire/wire.hpp"
 
 // ---------------------------------------------------------------- allocation
 // Global-new instrumentation so the measure_tree micro can assert "zero heap
@@ -633,6 +637,57 @@ void BM_MeasureTree(benchmark::State& state) {
       static_cast<double>(allocs) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_MeasureTree)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------- wire codec
+
+/// Encode + decode one of every control message plus a full-MTU chunk — the
+/// per-datagram cost every vdmd exchange pays twice. allocs_per_iter must be
+/// exactly 0: encode writes into a caller span, decode reads views out of
+/// the frame (the codec's zero-allocation contract, DESIGN.md §14).
+void BM_WireCodec(benchmark::State& state) {
+  std::array<std::byte, wire::kMaxPayload - 12> body{};
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::byte>(i * 31);
+  }
+  const std::array<wire::Message, 8> messages = {
+      wire::Message{wire::Hello{.listen_port = 9000}},
+      wire::Message{wire::Welcome{.host_id = 17, .num_hosts = 33}},
+      wire::Message{wire::ProbeRequest{
+          .token = 5, .target_host = 9, .target_ip = 0x7f000001, .target_port = 4242}},
+      wire::Message{wire::ProbeReply{.token = 5, .target_host = 9, .rtt_seconds = 0.031}},
+      wire::Message{wire::SetParent{
+          .token = 6, .parent_host = 3, .parent_ip = 0x7f000001, .parent_port = 4243}},
+      wire::Message{wire::Heartbeat{.from_host = 17, .seq = 12345}},
+      wire::Message{wire::StatsReply{.token = 7,
+                                     .host = 17,
+                                     .chunks_received = 1000,
+                                     .chunks_relayed = 999,
+                                     .heartbeats_sent = 40,
+                                     .control_received = 80}},
+      wire::Message{wire::Chunk{.seq = 42, .emitted_at = 1.5, .payload = body}},
+  };
+
+  std::array<std::byte, wire::kMaxFrame> frame;
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    for (const wire::Message& m : messages) {
+      const std::size_t n = wire::encode(m, frame);
+      wire::Message out;
+      const wire::DecodeError err =
+          wire::decode(std::span<const std::byte>(frame.data(), n), out);
+      benchmark::DoNotOptimize(out);
+      if (!err.ok()) state.SkipWithError("decode failed");
+      bytes += n;
+    }
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  state.counters["messages_per_iter"] = static_cast<double>(messages.size());
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WireCodec)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace vdm

@@ -148,7 +148,7 @@ void ScenarioDriver::do_crash(net::HostId h) {
 }
 
 void ScenarioDriver::schedule_initial_joins() {
-  sim::Simulator& sim = session_.simulator();
+  transport::Reactor& sim = session_.reactor();
   for (std::size_t i = 0; i < params_.target_members; ++i) {
     const net::HostId h = draw_available();
     // Small positive floor keeps the source's activation strictly first.
@@ -159,7 +159,7 @@ void ScenarioDriver::schedule_initial_joins() {
 
 void ScenarioDriver::schedule_flash_crowd() {
   if (params_.flash_count == 0) return;
-  sim::Simulator& sim = session_.simulator();
+  transport::Reactor& sim = session_.reactor();
   // Every flash member joins at the same instant — one timestamp, one drain
   // batch under the concurrent pipeline. Hosts are drawn here, in schedule
   // order, so the arrival set is a pure function of the seed.
@@ -170,7 +170,7 @@ void ScenarioDriver::schedule_flash_crowd() {
 }
 
 void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
-  sim::Simulator& sim = session_.simulator();
+  transport::Reactor& sim = session_.reactor();
   const std::size_t churn_count = static_cast<std::size_t>(
       std::llround(params_.churn_rate * static_cast<double>(params_.target_members)));
 
@@ -190,7 +190,7 @@ void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
     // Decide victims at slot start (so they are alive then); spread the
     // leave/join actions over the active part of the slot.
     sim.schedule_at(slot, [this, churn_count, active_span] {
-      sim::Simulator& s = session_.simulator();
+      transport::Reactor& s = session_.reactor();
       for (std::size_t j = 0; j < churn_count; ++j) {
         const net::HostId victim = draw_victim();
         // A failed victim draw (slot churn >= membership) skips the whole
@@ -216,13 +216,13 @@ void ScenarioDriver::schedule_churn_slots(const MeasureFn& on_measure) {
 }
 
 void ScenarioDriver::schedule_measurement_grid(const MeasureFn& on_measure) {
-  sim::Simulator& sim = session_.simulator();
+  transport::Reactor& sim = session_.reactor();
   // Settled grid shared by the slot and trace timelines: one point after the
   // join phase settles, then one at the end of every churn interval. Closed
   // form per point — same grid at any horizon/interval ratio.
   const sim::Time first_slot = params_.join_phase + params_.settle_time;
   sim.schedule_at(first_slot,
-                  [this, &on_measure] { on_measure(session_.simulator().now()); });
+                  [this, &on_measure] { on_measure(session_.reactor().now()); });
   for (std::size_t i = 0;; ++i) {
     // The measurement closing slot i sits at first_slot + (i+1) * interval —
     // the same closed form (and the same bound check) as the slot loop, so
@@ -232,12 +232,12 @@ void ScenarioDriver::schedule_measurement_grid(const MeasureFn& on_measure) {
         first_slot + static_cast<double>(i + 1) * params_.churn_interval;
     if (!(slot_end <= params_.total_time)) break;
     sim.schedule_at(slot_end,
-                    [this, &on_measure] { on_measure(session_.simulator().now()); });
+                    [this, &on_measure] { on_measure(session_.reactor().now()); });
   }
 }
 
 void ScenarioDriver::schedule_batched_joins(const MeasureFn& on_measure) {
-  sim::Simulator& sim = session_.simulator();
+  transport::Reactor& sim = session_.reactor();
   std::size_t scheduled = 0;
   for (std::size_t i = 0; scheduled < params_.target_members; ++i) {
     // Closed-form slot time, as in schedule_churn_slots.
@@ -250,13 +250,13 @@ void ScenarioDriver::schedule_batched_joins(const MeasureFn& on_measure) {
       sim.schedule_at(slot + rng_.uniform(0.001, active_span), [this, h] { do_join(h); });
     }
     sim.schedule_at(slot + params_.churn_interval,
-                    [this, &on_measure] { on_measure(session_.simulator().now()); });
+                    [this, &on_measure] { on_measure(session_.reactor().now()); });
     scheduled += batch;
   }
 }
 
 void ScenarioDriver::schedule_trace_events(std::span<const WorkloadEvent> events) {
-  sim::Simulator& sim = session_.simulator();
+  transport::Reactor& sim = session_.reactor();
   const std::size_t num_hosts = session_.underlay().num_hosts();
   sim::Time prev = 0.0;
   for (const WorkloadEvent& ev : events) {
@@ -298,7 +298,7 @@ void ScenarioDriver::run(const MeasureFn& on_measure) {
     schedule_churn_slots(on_measure);
   }
   schedule_flash_crowd();
-  session_.simulator().run_until(params_.total_time);
+  session_.reactor().run_until(params_.total_time);
   session_.stop();
 }
 
@@ -311,7 +311,7 @@ void ScenarioDriver::run_trace(std::span<const WorkloadEvent> events,
   // the slot timeline's insertion order.
   schedule_measurement_grid(on_measure);
   schedule_trace_events(events);
-  session_.simulator().run_until(params_.total_time);
+  session_.reactor().run_until(params_.total_time);
   session_.stop();
 }
 

@@ -45,7 +45,8 @@ OpStats Protocol::execute_refine(Session&, net::HostId) { return {}; }
 Session::Session(sim::Simulator& simulator, const net::Underlay& underlay,
                  Protocol& protocol, const MetricProvider& metric,
                  const SessionParams& params, util::Rng rng)
-    : sim_(simulator), underlay_(underlay), protocol_(protocol), metric_(metric),
+    : sim_reactor_(&simulator), reactor_(sim_reactor_), des_sim_(&simulator),
+      underlay_(underlay), protocol_(protocol), metric_(metric),
       params_(params), rng_(rng), tree_(0) {
   // tree_ and walk_scratch_ stay empty until start(): an arena caller swaps
   // warm storage in between construction and start(), and sizing them here
@@ -53,6 +54,21 @@ Session::Session(sim::Simulator& simulator, const net::Underlay& underlay,
   // path.
   VDM_REQUIRE(params_.source < underlay.num_hosts());
   VDM_REQUIRE(params_.chunk_rate > 0.0);
+}
+
+Session::Session(transport::Reactor& reactor, const net::Underlay& underlay,
+                 Protocol& protocol, const MetricProvider& metric,
+                 const SessionParams& params, util::Rng rng)
+    : reactor_(reactor), underlay_(underlay), protocol_(protocol),
+      metric_(metric), params_(params), rng_(rng), tree_(0) {
+  VDM_REQUIRE(params_.source < underlay.num_hosts());
+  VDM_REQUIRE(params_.chunk_rate > 0.0);
+}
+
+sim::Simulator& Session::simulator() {
+  VDM_REQUIRE_MSG(des_sim_ != nullptr,
+                  "simulator() on a reactor-hosted session — use reactor()");
+  return *des_sim_;
 }
 
 void Session::swap_walk_scratch(std::unique_ptr<WalkScratch>& other) {
@@ -98,14 +114,14 @@ void Session::start() {
   // Likewise a join batch that was still queued when that run ended.
   std::fill(walk_scratch_->refine_events.begin(),
             walk_scratch_->refine_events.end(),
-            std::uint64_t{sim::kInvalidEvent});
+            std::uint64_t{transport::kInvalidTimer});
   walk_scratch_->pending_joins.clear();
   // Swapped-in record accumulators may hold entries pushed after the previous
   // run's final drain; they belong to that run, not this one.
   scratch_.startup_records.clear();
   scratch_.reconnect_records.clear();
   tree_.activate(params_.source, params_.source_degree_limit);
-  tree_.flood().in_session_since[params_.source] = sim_.now();
+  tree_.flood().in_session_since[params_.source] = reactor_.now();
   if (params_.join_mode != JoinMode::kSequential) {
     VDM_REQUIRE_MSG(params_.join_mode != JoinMode::kConcurrent ||
                         protocol_.pipeline_support() != nullptr,
@@ -120,28 +136,28 @@ void Session::start() {
     // Same schedule/reschedule sequence sim::Periodic produces, without the
     // per-run heap timer object.
     const sim::Time period = 1.0 / params_.chunk_rate;
-    stream_event_ = sim_.schedule_in(period, [this, period] {
+    stream_event_ = reactor_.schedule_in(period, [this, period] {
       emit_chunk();
-      sim_.reschedule_current_in(period);
+      reactor_.reschedule_current_in(period);
     });
   }
 }
 
 void Session::stop() {
-  if (stream_event_ != sim::kInvalidEvent) {
-    sim_.cancel(stream_event_);
-    stream_event_ = sim::kInvalidEvent;
+  if (stream_event_ != transport::kInvalidTimer) {
+    reactor_.cancel(stream_event_);
+    stream_event_ = transport::kInvalidTimer;
   }
   if (walk_scratch_) {  // null after swap-out on the arena path, or pre-start
     // A drain event scheduled behind us may still fire; emptied, it no-ops.
     walk_scratch_->pending_joins.clear();
     for (std::uint64_t& id : walk_scratch_->refine_events) {
-      if (id != sim::kInvalidEvent) sim_.cancel(id);
-      id = sim::kInvalidEvent;
+      if (id != transport::kInvalidTimer) reactor_.cancel(id);
+      id = transport::kInvalidTimer;
     }
   }
   for (auto& [h, hb] : heartbeats_) {
-    if (hb.pending_detect != sim::kInvalidEvent) sim_.cancel(hb.pending_detect);
+    if (hb.pending_detect != transport::kInvalidTimer) reactor_.cancel(hb.pending_detect);
   }
   heartbeats_.clear();
   crash_orphans_.clear();
@@ -161,10 +177,10 @@ TimingRecord Session::join(net::HostId h, int degree_limit) {
       drain_scheduled_ = true;
       // schedule_in(0) sequences the drain after every event already queued
       // at this timestamp — late same-time arrivals still make this batch.
-      sim_.schedule_in(0.0, [this] { drain_join_batch(); });
+      reactor_.schedule_in(0.0, [this] { drain_join_batch(); });
     }
     TimingRecord placeholder;
-    placeholder.at = sim_.now();
+    placeholder.at = reactor_.now();
     placeholder.host = h;
     return placeholder;
   }
@@ -174,7 +190,7 @@ TimingRecord Session::join(net::HostId h, int degree_limit) {
   if (params_.join_mode == JoinMode::kLocating) start = locate_entry(h, pre);
   const TimingRecord rec =
       run_join(h, start, /*is_reconnect=*/false, /*detection=*/0.0, pre);
-  tree_.flood().in_session_since[h] = sim_.now() + rec.duration;
+  tree_.flood().in_session_since[h] = reactor_.now() + rec.duration;
   if (protocol_.wants_refinement()) arm_refinement(h);
   if (params_.paranoid_checks) tree_.validate();
   return rec;
@@ -207,7 +223,7 @@ TimingRecord Session::finish_join(net::HostId h, const OpStats& stats,
   totals_.control_messages += stats.messages;
 
   TimingRecord rec;
-  rec.at = sim_.now();
+  rec.at = reactor_.now();
   rec.host = h;
   rec.duration = stats.elapsed;
   rec.detection = detection;
@@ -216,7 +232,7 @@ TimingRecord Session::finish_join(net::HostId h, const OpStats& stats,
 
   // The node (and transitively its subtree, which the data plane blocks
   // through this node) starts receiving once the join handshake finishes.
-  tree_.flood().receiving_since[h] = sim_.now() + stats.elapsed;
+  tree_.flood().receiving_since[h] = reactor_.now() + stats.elapsed;
 
   if (is_reconnect) {
     scratch_.reconnect_records.push_back(rec);
@@ -289,7 +305,7 @@ void Session::drain_join_batch() {
   walk.bind_reservations(&ws.reserved);
   walk.allow_abort(true);
 
-  const sim::Time now = sim_.now();
+  const sim::Time now = reactor_.now();
   std::size_t q_head = 0;  // FIFO cursors — the vectors only ever append
   std::size_t p_head = 0;
 
@@ -448,7 +464,7 @@ void Session::crash(net::HostId h) {
   // unanswered and complete_detection() reconnects them once the miss
   // streak plus timeout elapses. Until then the data plane counts their
   // subtrees as expecting-but-not-receiving (see emit_chunk).
-  const sim::Time now = sim_.now();
+  const sim::Time now = reactor_.now();
   for (const net::HostId orphan : scratch_.orphans) {
     HeartbeatState& hb = heartbeats_.at(orphan);
     hb.orphaned = true;
@@ -583,25 +599,25 @@ bool Session::eligible_parent(net::HostId joiner, net::HostId candidate) const {
 void Session::arm_refinement(net::HostId h) {
   std::vector<std::uint64_t>& slab = walk_scratch_->refine_events;
   if (slab.size() < tree_.num_hosts()) {
-    slab.resize(tree_.num_hosts(), sim::kInvalidEvent);
+    slab.resize(tree_.num_hosts(), transport::kInvalidTimer);
   }
-  if (slab[h] != sim::kInvalidEvent) sim_.cancel(slab[h]);
+  if (slab[h] != transport::kInvalidTimer) reactor_.cancel(slab[h]);
   const sim::Time period = protocol_.refinement_period();
   // The tick re-arms into its own slab slot (reschedule_current_in keeps the
   // id), so the stored EventId stays valid for the member's whole tenure.
   // Disarming mid-tick suppresses the re-arm via the simulator's
   // firing-cancelled state, exactly like Periodic::stop() did.
-  slab[h] = sim_.schedule_in(period, [this, h, period] {
+  slab[h] = reactor_.schedule_in(period, [this, h, period] {
     refine(h);
-    sim_.reschedule_current_in(period);
+    reactor_.reschedule_current_in(period);
   });
 }
 
 void Session::disarm_refinement(net::HostId h) {
   std::vector<std::uint64_t>& slab = walk_scratch_->refine_events;
-  if (h < slab.size() && slab[h] != sim::kInvalidEvent) {
-    sim_.cancel(slab[h]);
-    slab[h] = sim::kInvalidEvent;
+  if (h < slab.size() && slab[h] != transport::kInvalidTimer) {
+    reactor_.cancel(slab[h]);
+    slab[h] = transport::kInvalidTimer;
   }
 }
 
@@ -612,25 +628,26 @@ void Session::ensure_heartbeat(net::HostId h) {
   hb.orphaned = false;
   hb.orphaned_at = 0.0;
   hb.first_miss_at = 0.0;
-  if (hb.pending_detect != sim::kInvalidEvent) {
-    sim_.cancel(hb.pending_detect);
-    hb.pending_detect = sim::kInvalidEvent;
+  if (hb.pending_detect != transport::kInvalidTimer) {
+    reactor_.cancel(hb.pending_detect);
+    hb.pending_detect = transport::kInvalidTimer;
   }
   // Recreate the timer only when it is missing or was stopped by a full
-  // miss streak; destroying a stopped Periodic is safe from any event
+  // miss streak; destroying a stopped PeriodicTimer is safe from any event
   // (never from inside its own tick — the streak stops it first and the
   // recreation happens in complete_detection, a plain event).
   if (!hb.timer || !hb.timer->running()) {
-    hb.timer = std::make_unique<sim::Periodic>(
-        sim_, params_.faults.heartbeat_period, [this, h] { heartbeat_tick(h); });
+    hb.timer = std::make_unique<transport::PeriodicTimer>(
+        reactor_, params_.faults.heartbeat_period,
+        [this, h] { heartbeat_tick(h); });
   }
 }
 
 void Session::disarm_heartbeat(net::HostId h) {
   const auto it = heartbeats_.find(h);
   if (it == heartbeats_.end()) return;
-  if (it->second.pending_detect != sim::kInvalidEvent) {
-    sim_.cancel(it->second.pending_detect);
+  if (it->second.pending_detect != transport::kInvalidTimer) {
+    reactor_.cancel(it->second.pending_detect);
   }
   heartbeats_.erase(it);
 }
@@ -672,36 +689,36 @@ void Session::heartbeat_tick(net::HostId h) {
     return;
   }
   ++hb.misses;
-  if (hb.misses == 1) hb.first_miss_at = sim_.now();
+  if (hb.misses == 1) hb.first_miss_at = reactor_.now();
   if (hb.misses >= f.heartbeat_misses &&
-      hb.pending_detect == sim::kInvalidEvent) {
+      hb.pending_detect == transport::kInvalidTimer) {
     // Verdict reached: stop probing and declare the parent dead once the
     // final probe's own timeout expires. The timer must not be destroyed
     // from inside its own tick — stop() it and let complete_detection (a
     // plain scheduled event) recreate it after the rejoin.
     hb.timer->stop();
-    hb.pending_detect = sim_.schedule_in(f.heartbeat_timeout,
+    hb.pending_detect = reactor_.schedule_in(f.heartbeat_timeout,
                                          [this, h] { complete_detection(h); });
   }
 }
 
 void Session::complete_detection(net::HostId h) {
   HeartbeatState& hb = heartbeats_.at(h);
-  hb.pending_detect = sim::kInvalidEvent;
+  hb.pending_detect = transport::kInvalidTimer;
   const MemberState& m = tree_.member(h);
   VDM_REQUIRE_MSG(m.alive, "detection completing on a dead member");
 
   sim::Time detection;
   if (hb.orphaned) {
     // True positive: latency from the parent's actual crash to this verdict.
-    detection = sim_.now() - hb.orphaned_at;
+    detection = reactor_.now() - hb.orphaned_at;
     forget_crash_orphan(h);
   } else {
     // False positive: the miss streak was pure control loss and the parent
     // is still alive. The node acts on its verdict anyway — detach and
     // rejoin in the same sim event, so the only data-plane gap is the
     // rejoin handshake itself.
-    detection = sim_.now() - hb.first_miss_at;
+    detection = reactor_.now() - hb.first_miss_at;
     if (m.parent != kInvalidHost) tree_.detach(h);
   }
   // NOTE: run_join re-enters ensure_heartbeat, which may rehash
@@ -734,7 +751,7 @@ void Session::emit_chunk() {
   const PhaseTimer timer(params_.profile, profile_.flood_secs);
   ++window_.chunks_emitted;
   ++totals_.chunks_emitted;
-  const sim::Time now = sim_.now();
+  const sim::Time now = reactor_.now();
   const sim::Time buffered_now = now + params_.buffer_seconds;
 
   // Flood the chunk down the tree. A node is *expected* to see the chunk

@@ -10,6 +10,8 @@
 #include "overlay/metric.hpp"
 #include "overlay/protocol.hpp"
 #include "sim/simulator.hpp"
+#include "transport/sim_reactor.hpp"
+#include "transport/transport.hpp"
 #include "util/rng.hpp"
 
 namespace vdm::overlay {
@@ -188,7 +190,19 @@ class Session {
     }
   };
 
+  /// Simulation-hosted session: time and timers come from the DES, via an
+  /// internal SimReactor whose delegation is 1:1 — behaviour (slot order,
+  /// event sequence, every golden scalar) is identical to the pre-seam
+  /// direct-simulator session.
   Session(sim::Simulator& simulator, const net::Underlay& underlay,
+          Protocol& protocol, const MetricProvider& metric,
+          const SessionParams& params, util::Rng rng);
+
+  /// Reactor-hosted session: the same protocol core on any transport
+  /// backend — vdmd passes a UdpReactor and a MeasuredUnderlay, and joins,
+  /// heartbeats and refinement timers run against real sockets and the wall
+  /// clock. simulator() is unavailable on this form.
+  Session(transport::Reactor& reactor, const net::Underlay& underlay,
           Protocol& protocol, const MetricProvider& metric,
           const SessionParams& params, util::Rng rng);
   ~Session();
@@ -265,7 +279,12 @@ class Session {
   const MetricProvider& metric() const { return metric_; }
   net::HostId source() const { return params_.source; }
   util::Rng& rng() { return rng_; }
-  sim::Simulator& simulator() { return sim_; }
+  /// The backing simulator — only valid on a simulation-hosted session
+  /// (throws util::InvariantError on a reactor-hosted one). Callers that
+  /// merely need time or timers should use reactor() instead.
+  sim::Simulator& simulator();
+  /// The time/timer backend this session runs on. Always valid.
+  transport::Reactor& reactor() { return reactor_; }
   Protocol& protocol() { return protocol_; }
 
   /// The tree-walk engine's reusable buffers (one set per session — walks
@@ -408,7 +427,14 @@ class Session {
   void flood_subtree(ChunkFrame seed, sim::Time now, sim::Time buffered_now,
                      std::vector<ChunkFrame>& stack, FloodShard& res);
 
-  sim::Simulator& sim_;
+  /// The DES backend when simulation-hosted; unbound (and unused) when an
+  /// external reactor was supplied. By value so the sim-hosted constructor
+  /// stays allocation-free (the arena gate in bench_e2e counts its allocs).
+  transport::SimReactor sim_reactor_;
+  /// The time/timer seam every call site below goes through.
+  transport::Reactor& reactor_;
+  /// Non-null only when simulation-hosted (backs simulator()).
+  sim::Simulator* des_sim_ = nullptr;
   const net::Underlay& underlay_;
   Protocol& protocol_;
   const MetricProvider& metric_;
@@ -432,15 +458,15 @@ class Session {
   std::uint64_t best_cohort_n_ = 0;
   sim::Time best_cohort_span_ = 0.0;
 
-  /// The data-plane chunk clock: one event rescheduled in place after each
-  /// tick — the EventId analog of sim::Periodic, so starting the data plane
-  /// costs no heap timer object per run.
-  sim::EventId stream_event_ = sim::kInvalidEvent;
+  /// The data-plane chunk clock: one timer rescheduled in place after each
+  /// tick — the TimerId analog of transport::PeriodicTimer, so starting the
+  /// data plane costs no heap timer object per run.
+  transport::TimerId stream_event_ = transport::kInvalidTimer;
 
   /// Per-member failure-detector state (only populated when
   /// faults.heartbeat_period > 0).
   struct HeartbeatState {
-    std::unique_ptr<sim::Periodic> timer;
+    std::unique_ptr<transport::PeriodicTimer> timer;
     int misses = 0;
     /// Parent crashed; probes are going unanswered until detection fires.
     bool orphaned = false;
@@ -448,9 +474,9 @@ class Session {
     /// Start of the current miss streak (detection latency for a false
     /// positive is measured from here).
     sim::Time first_miss_at = 0.0;
-    /// The scheduled complete_detection() event, if the streak reached
+    /// The scheduled complete_detection() timer, if the streak reached
     /// heartbeat_misses; cancelled when the member leaves/crashes first.
-    sim::EventId pending_detect = sim::kInvalidEvent;
+    transport::TimerId pending_detect = transport::kInvalidTimer;
   };
   std::unordered_map<net::HostId, HeartbeatState> heartbeats_;
   /// Roots of subtrees detached by a crash and still awaiting detection.

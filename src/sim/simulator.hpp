@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/inline_fn.hpp"
@@ -66,6 +67,14 @@ class Simulator {
 
   /// Number of live (non-cancelled) pending events.
   std::size_t pending() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event, or +infinity when the queue is
+  /// empty. The wall-clock reactor (transport::UdpReactor) paces this engine
+  /// by sleeping until the next deadline; the DES never needs it.
+  Time next_event_time() const {
+    return heap_.empty() ? std::numeric_limits<Time>::infinity()
+                         : slots_[heap_[0]].t;
+  }
 
   /// Total events executed since construction (for micro-benchmarks).
   std::uint64_t executed() const { return executed_; }

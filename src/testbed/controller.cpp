@@ -28,25 +28,46 @@ sim::Time FlakyMetric::measurement_time(const net::Underlay& net, net::HostId a,
   return inner_->measurement_time(net, a, b) * slow;
 }
 
+namespace {
+
+overlay::SessionParams session_params(const ControllerParams& params) {
+  overlay::SessionParams sp;
+  sp.source = params.source;
+  sp.source_degree_limit = params.source_degree;
+  sp.chunk_rate = params.chunk_rate;
+  sp.data_plane = params.data_plane;
+  sp.faults = params.faults;
+  sp.join_mode = params.join_mode;
+  return sp;
+}
+
+}  // namespace
+
 MainController::MainController(sim::Simulator& simulator,
                                const net::Underlay& underlay,
                                overlay::Protocol& protocol,
                                const overlay::MetricProvider& metric,
                                const ControllerParams& params, util::Rng rng)
-    : sim_(simulator), underlay_(underlay), params_(params) {
-  overlay::SessionParams sp;
-  sp.source = params.source;
-  sp.source_degree_limit = params.source_degree;
-  sp.chunk_rate = params.chunk_rate;
-  sp.faults = params.faults;
-  sp.join_mode = params.join_mode;
-  session_ = std::make_unique<overlay::Session>(simulator, underlay, protocol,
-                                                metric, sp, rng);
+    : underlay_(underlay), params_(params) {
+  session_ = std::make_unique<overlay::Session>(
+      simulator, underlay, protocol, metric, session_params(params), rng);
+  collector_ = std::make_unique<metrics::Collector>(*session_);
+}
+
+MainController::MainController(transport::Reactor& reactor,
+                               const net::Underlay& underlay,
+                               overlay::Protocol& protocol,
+                               const overlay::MetricProvider& metric,
+                               const ControllerParams& params, util::Rng rng)
+    : underlay_(underlay), params_(params) {
+  session_ = std::make_unique<overlay::Session>(
+      reactor, underlay, protocol, metric, session_params(params), rng);
   collector_ = std::make_unique<metrics::Collector>(*session_);
 }
 
 SessionReport MainController::run(const Scenario& scenario) {
   VDM_REQUIRE_MSG(!scenario.events.empty(), "scenario has no events");
+  transport::Reactor& reactor = session_->reactor();
   session_->start();
 
   // Flash bursts name a count, not hosts: expand over the ids unused
@@ -66,13 +87,13 @@ SessionReport MainController::run(const Scenario& scenario) {
   for (const ScenarioEvent& e : scenario.events) {
     switch (e.action) {
       case ScenarioEvent::Action::kJoin:
-        sim_.schedule_at(e.at, [this, e] { session_->join(e.node, e.degree_limit); });
+        reactor.schedule_at(e.at, [this, e] { session_->join(e.node, e.degree_limit); });
         break;
       case ScenarioEvent::Action::kLeave:
-        sim_.schedule_at(e.at, [this, e] { session_->leave(e.node); });
+        reactor.schedule_at(e.at, [this, e] { session_->leave(e.node); });
         break;
       case ScenarioEvent::Action::kCrash:
-        sim_.schedule_at(e.at, [this, e] { session_->crash(e.node); });
+        reactor.schedule_at(e.at, [this, e] { session_->crash(e.node); });
         break;
       case ScenarioEvent::Action::kFlash:
         for (net::HostId burst = 0; burst < e.node; ++burst) {
@@ -80,7 +101,7 @@ SessionReport MainController::run(const Scenario& scenario) {
           VDM_REQUIRE_MSG(flash_cursor < used.size(),
                           "flash burst exceeds unused hosts in the underlay");
           const net::HostId h = flash_cursor++;
-          sim_.schedule_at(e.at, [this, h, e] { session_->join(h, e.degree_limit); });
+          reactor.schedule_at(e.at, [this, h, e] { session_->join(h, e.degree_limit); });
         }
         break;
       case ScenarioEvent::Action::kTerminate:
@@ -90,10 +111,12 @@ SessionReport MainController::run(const Scenario& scenario) {
   // Periodic snapshots, then a final one exactly at terminate.
   for (sim::Time t = params_.measure_interval; t < scenario.end_time;
        t += params_.measure_interval) {
-    sim_.schedule_at(t, [this] { collector_->capture(sim_.now()); });
+    reactor.schedule_at(t, [this] {
+      collector_->capture(session_->reactor().now());
+    });
   }
-  sim_.run_until(scenario.end_time);
-  collector_->capture(sim_.now());
+  reactor.run_until(scenario.end_time);
+  collector_->capture(reactor.now());
   session_->stop();
 
   SessionReport report;

@@ -42,6 +42,10 @@ struct ControllerParams {
   int source_degree = 4;
   /// The PlanetLab sender streamed 10 chunks per second (§5.4.2).
   double chunk_rate = 10.0;
+  /// Model the data plane inside the session (simulation). vdmd turns this
+  /// off: its chunks are real datagrams relayed by the agents, so modeling
+  /// them again would double-count.
+  bool data_plane = true;
   /// Tree snapshot cadence during the run.
   sim::Time measure_interval = 400.0;
   /// Failure-model knobs (heartbeat detection, lossy control plane) routed
@@ -80,13 +84,19 @@ class MainController {
                  overlay::Protocol& protocol, const overlay::MetricProvider& metric,
                  const ControllerParams& params, util::Rng rng);
 
+  /// Reactor-hosted controller: the same orchestration over any transport
+  /// backend. vdmd passes a UdpReactor and a MeasuredUnderlay here, and the
+  /// identical scenario files drive real agents over UDP.
+  MainController(transport::Reactor& reactor, const net::Underlay& underlay,
+                 overlay::Protocol& protocol, const overlay::MetricProvider& metric,
+                 const ControllerParams& params, util::Rng rng);
+
   /// Runs `scenario` to its terminate event and gathers the report.
   SessionReport run(const Scenario& scenario);
 
   overlay::Session& session() { return *session_; }
 
  private:
-  sim::Simulator& sim_;
   const net::Underlay& underlay_;
   ControllerParams params_;
   std::unique_ptr<overlay::Session> session_;

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "transport/transport.hpp"
+#include "util/require.hpp"
+
+namespace vdm::transport {
+
+/// The DES backend of the transport seam: every call delegates 1:1 to the
+/// wrapped sim::Simulator, so slot acquisition order, sequence numbers and
+/// firing order are exactly the pre-seam ones — a Session re-hosted on this
+/// reactor is bit-identical to one talking to the simulator directly (the
+/// determinism contract of DESIGN.md §14).
+///
+/// Rebindable (null simulator) so it can live by value inside Session: the
+/// sim-backed constructor binds it, the external-reactor constructor leaves
+/// it empty and unused.
+class SimReactor final : public Reactor {
+ public:
+  explicit SimReactor(sim::Simulator* simulator = nullptr) : sim_(simulator) {}
+
+  Time now() const override { return sim().now(); }
+  TimerId schedule_at(Time t, TimerFn fn) override {
+    return sim().schedule_at(t, std::move(fn));
+  }
+  TimerId schedule_in(Time delay, TimerFn fn) override {
+    return sim().schedule_in(delay, std::move(fn));
+  }
+  void cancel(TimerId id) override { sim().cancel(id); }
+  bool reschedule_current_in(Time delay) override {
+    return sim().reschedule_current_in(delay);
+  }
+  std::size_t run_until(Time t) override { return sim().run_until(t); }
+
+  bool bound() const { return sim_ != nullptr; }
+
+ private:
+  sim::Simulator& sim() const {
+    VDM_REQUIRE_MSG(sim_ != nullptr, "SimReactor used unbound");
+    return *sim_;
+  }
+  sim::Simulator* sim_;
+};
+
+}  // namespace vdm::transport

@@ -1,0 +1,31 @@
+#include "transport/transport.hpp"
+
+namespace vdm::transport {
+
+// Mirrors sim::Periodic tick-for-tick: one schedule_in at construction, each
+// tick re-arms the same slot in place (id never changes), stop() from inside
+// the tick suppresses the re-arm via the backend's firing-cancelled check.
+PeriodicTimer::PeriodicTimer(Reactor& reactor, Time interval, TimerFn fn)
+    : reactor_(reactor), interval_(interval), fn_(std::move(fn)) {
+  pending_ = reactor_.schedule_in(interval_, [this] {
+    fn_();
+    if (running_) {
+      reactor_.reschedule_current_in(interval_);
+    } else {
+      pending_ = kInvalidTimer;
+    }
+  });
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != kInvalidTimer) {
+    reactor_.cancel(pending_);
+    pending_ = kInvalidTimer;
+  }
+}
+
+}  // namespace vdm::transport

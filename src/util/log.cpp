@@ -9,6 +9,9 @@ namespace vdm::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+// Guarded by g_mutex: std::function reads and writes are not atomic, and a
+// swap racing a call would be a use-after-move.
+LogSink g_sink;  // NOLINT(cert-err58-cpp)
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,9 +29,18 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  const std::scoped_lock lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   const std::scoped_lock lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::cerr << "[vdm:" << level_name(level) << "] " << message << '\n';
 }
 

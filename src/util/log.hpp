@@ -1,7 +1,9 @@
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace vdm::util {
 
@@ -13,8 +15,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Thread-safe write of one formatted line to stderr if `level` is enabled.
+/// Thread-safe write of one formatted line to stderr (or the installed
+/// sink) if `level` is enabled. Formatting, the level check and the sink
+/// call all happen under one mutex, so concurrent callers never interleave
+/// within a line and a sink swap never races a write.
 void log_line(LogLevel level, const std::string& message);
+
+/// Where formatted lines go. Receives the already-leveled message without
+/// the "[vdm:LEVEL]" prefix; called with the log mutex held, so the sink
+/// itself needs no synchronization (and must not call back into the log).
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Installs `sink` in place of the default stderr writer; an empty function
+/// restores the default. Thread-safe against concurrent log_line calls —
+/// vdmd routes agent logs into per-process files with this, and the TSan
+/// log test swaps sinks mid-hammer.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 class LogStream {
